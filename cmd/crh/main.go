@@ -1,0 +1,215 @@
+// Command crh runs truth discovery on a multi-source observation file.
+//
+// Usage:
+//
+//	crh [flags] input.tsv
+//	cat input.tsv | crh [flags]
+//
+// The input is the library's TSV format (see package crh's WriteDataset):
+// property declarations followed by one observation per line; optional T
+// lines carry ground truth, in which case the tool also prints Error Rate
+// and MNAD. Output: one resolved value per entry, then the source weights.
+//
+// Flags select the loss functions, weight scheme, and optionally the
+// incremental (streaming) mode for timestamped data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	crh "github.com/crhkit/crh"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crh", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		contLoss = fs.String("continuous-loss", "absolute", "continuous loss: absolute (weighted median) | squared (weighted mean) | huber")
+		catLoss  = fs.String("categorical-loss", "zero-one", "categorical loss: zero-one (weighted vote) | probabilistic | edit-distance")
+		scheme   = fs.String("weights", "exp-max", "weight scheme: exp-max | exp-sum | best-source | top-j | catd")
+		topJ     = fs.Int("j", 3, "number of sources for -weights top-j")
+		streamW  = fs.Int("stream-window", 0, "run incremental CRH with this window size over timestamped data (0 = batch)")
+		live     = fs.Bool("live", false, "with -stream-window: process the input as an unbounded stream (constant memory, truths printed per chunk, no evaluation)")
+		decay    = fs.Float64("decay", 1, "I-CRH decay rate α in [0,1]")
+		quiet    = fs.Bool("quiet", false, "print only weights and evaluation, not per-entry truths")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "crh: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+
+	opts, code := buildOptions(*contLoss, *catLoss, *scheme, *topJ, stderr)
+	if code != 0 {
+		return code
+	}
+
+	if *live {
+		if *streamW <= 0 {
+			fmt.Fprintln(stderr, "crh: -live requires -stream-window > 0")
+			return 2
+		}
+		return runLive(in, *streamW, *decay, opts, *quiet, stdout, stderr)
+	}
+
+	d, gt, err := crh.ReadDataset(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "crh: %v\n", err)
+		return 1
+	}
+
+	var truths *crh.Table
+	var weights []float64
+	if *streamW > 0 {
+		res, err := crh.RunStream(d, *streamW, crh.StreamOptions{Core: opts, Decay: *decay, DecaySet: true})
+		if err != nil {
+			fmt.Fprintf(stderr, "crh: %v\n", err)
+			return 1
+		}
+		truths, weights = res.Truths, res.Weights
+		fmt.Fprintf(stdout, "# incremental CRH: %d chunks, window %d\n", res.ChunkCount, *streamW)
+	} else {
+		res, err := crh.Run(d, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "crh: %v\n", err)
+			return 1
+		}
+		truths, weights = res.Truths, res.Weights
+		fmt.Fprintf(stdout, "# CRH converged=%v iterations=%d\n", res.Converged, res.Iterations)
+	}
+
+	if !*quiet {
+		printTruths(stdout, d, truths)
+	}
+	fmt.Fprintln(stdout, "# source weights")
+	for k := 0; k < d.NumSources(); k++ {
+		fmt.Fprintf(stdout, "W\t%s\t%.6f\n", d.SourceName(k), weights[k])
+	}
+	if gt != nil {
+		m := crh.Evaluate(d, truths, gt)
+		fmt.Fprintln(stdout, "# evaluation against supplied ground truth")
+		if !math.IsNaN(m.ErrorRate) {
+			fmt.Fprintf(stdout, "ErrorRate\t%.4f\t(%d of %d categorical entries wrong)\n", m.ErrorRate, m.CatWrong, m.CatEntries)
+		}
+		if !math.IsNaN(m.MNAD) {
+			fmt.Fprintf(stdout, "MNAD\t%.4f\t(%d continuous entries)\n", m.MNAD, m.ContEntries)
+		}
+	}
+	return 0
+}
+
+// buildOptions translates the CLI's loss/scheme flags. The second return
+// is a non-zero exit code on invalid flags.
+func buildOptions(contLoss, catLoss, scheme string, topJ int, stderr io.Writer) (crh.Options, int) {
+	opts := crh.Options{}
+	switch contLoss {
+	case "absolute":
+		opts.ContinuousLoss = crh.AbsoluteLoss()
+	case "squared":
+		opts.ContinuousLoss = crh.SquaredLoss()
+	case "huber":
+		opts.ContinuousLoss = crh.HuberLoss(0)
+	default:
+		fmt.Fprintf(stderr, "crh: unknown continuous loss %q\n", contLoss)
+		return opts, 2
+	}
+	switch catLoss {
+	case "zero-one":
+		opts.CategoricalLoss = crh.ZeroOneLoss()
+	case "probabilistic":
+		opts.CategoricalLoss = crh.ProbabilisticLoss()
+	case "edit-distance":
+		opts.CategoricalLoss = crh.EditDistanceLoss()
+	default:
+		fmt.Fprintf(stderr, "crh: unknown categorical loss %q\n", catLoss)
+		return opts, 2
+	}
+	switch scheme {
+	case "exp-max":
+		opts.Scheme = crh.ExpMaxWeights()
+	case "exp-sum":
+		opts.Scheme = crh.ExpSumWeights()
+	case "best-source":
+		opts.Scheme = crh.BestSourceWeights()
+	case "top-j":
+		opts.Scheme = crh.TopJWeights(topJ)
+	case "catd":
+		opts.Scheme = crh.CATDWeights(0)
+	default:
+		fmt.Fprintf(stderr, "crh: unknown weight scheme %q\n", scheme)
+		return opts, 2
+	}
+	return opts, 0
+}
+
+// runLive processes the input as an unbounded stream in constant memory:
+// each window's truths are printed as soon as the window closes, using
+// only the source weights learned so far.
+func runLive(in io.Reader, window int, decay float64, opts crh.Options, quiet bool, stdout, stderr io.Writer) int {
+	ts, err := crh.NewTSVStream(in, window)
+	if err != nil {
+		fmt.Fprintf(stderr, "crh: %v\n", err)
+		return 2
+	}
+	proc := crh.NewStreamProcessor(0, crh.StreamOptions{Core: opts, Decay: decay, DecaySet: true})
+	chunks := 0
+	for {
+		ch, err := ts.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "crh: %v\n", err)
+			return 1
+		}
+		truths := proc.Process(ch.Data)
+		chunks++
+		fmt.Fprintf(stdout, "# window %d: %d entries resolved\n", ch.Timestamp, truths.Count())
+		if !quiet {
+			printTruths(stdout, ch.Data, truths)
+		}
+	}
+	fmt.Fprintf(stdout, "# live stream complete: %d windows\n", chunks)
+	fmt.Fprintln(stdout, "# source weights")
+	ws := proc.Weights()
+	for k := 0; k < ts.NumSources(); k++ {
+		fmt.Fprintf(stdout, "W\t%s\t%.6f\n", ts.SourceName(k), ws[k])
+	}
+	return 0
+}
+
+func printTruths(w io.Writer, d *crh.Dataset, truths *crh.Table) {
+	fmt.Fprintln(w, "# resolved truths: object, property, value")
+	for i := 0; i < d.NumObjects(); i++ {
+		for m := 0; m < d.NumProps(); m++ {
+			v, ok := truths.GetAt(i, m)
+			if !ok {
+				continue
+			}
+			p := d.Prop(m)
+			if p.Type == crh.Categorical {
+				fmt.Fprintf(w, "R\t%s\t%s\t%s\n", d.ObjectName(i), p.Name, p.CatName(int(v.C)))
+			} else {
+				fmt.Fprintf(w, "R\t%s\t%s\t%g\n", d.ObjectName(i), p.Name, v.F)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleTSV = `# sample
+P	temp	continuous
+P	cond	categorical
+V	nyc	temp	s1	80
+V	nyc	temp	s2	82
+V	nyc	temp	s3	60
+V	nyc	cond	s1	sunny
+V	nyc	cond	s2	sunny
+V	nyc	cond	s3	rain
+T	nyc	temp	81
+T	nyc	cond	sunny
+`
+
+const streamTSV = `P	x	continuous
+O	d0	0
+O	d1	1
+V	d0	x	good	10
+V	d0	x	bad	90
+V	d1	x	good	11
+V	d1	x	bad	-40
+V	d0	x	mid	10.5
+V	d1	x	mid	11.5
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, string, int) {
+	t.Helper()
+	var out, errB bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errB)
+	return out.String(), errB.String(), code
+}
+
+func TestCLIBatch(t *testing.T) {
+	out, errS, code := runCLI(t, nil, sampleTSV)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errS)
+	}
+	for _, want := range []string{
+		"# CRH converged=",
+		"R\tnyc\tcond\tsunny",
+		"W\ts1\t",
+		"ErrorRate\t0.0000",
+		"MNAD\t",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The resolved temperature should be near the consensus, not the
+	// outlier.
+	if strings.Contains(out, "R\tnyc\ttemp\t60") {
+		t.Error("outlier chosen as truth")
+	}
+}
+
+func TestCLIQuiet(t *testing.T) {
+	out, _, code := runCLI(t, []string{"-quiet"}, sampleTSV)
+	if code != 0 {
+		t.Fatal("exit")
+	}
+	if strings.Contains(out, "R\tnyc") {
+		t.Error("-quiet printed truths")
+	}
+	if !strings.Contains(out, "# source weights") {
+		t.Error("weights missing")
+	}
+}
+
+func TestCLIAllOptionCombos(t *testing.T) {
+	for _, cl := range []string{"absolute", "squared", "huber"} {
+		for _, kl := range []string{"zero-one", "probabilistic", "edit-distance"} {
+			for _, w := range []string{"exp-max", "exp-sum", "best-source", "top-j", "catd"} {
+				_, errS, code := runCLI(t, []string{"-continuous-loss", cl, "-categorical-loss", kl, "-weights", w, "-quiet"}, sampleTSV)
+				if code != 0 {
+					t.Fatalf("%s/%s/%s: exit %d (%s)", cl, kl, w, code, errS)
+				}
+			}
+		}
+	}
+}
+
+func TestCLIStreaming(t *testing.T) {
+	out, errS, code := runCLI(t, []string{"-stream-window", "1", "-decay", "0.5", "-quiet"}, streamTSV)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errS)
+	}
+	if !strings.Contains(out, "# incremental CRH: 2 chunks") {
+		t.Errorf("stream header missing:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		stdin string
+		code  int
+	}{
+		{"bad flag", []string{"-nonsense"}, sampleTSV, 2},
+		{"bad loss", []string{"-continuous-loss", "cubic"}, sampleTSV, 2},
+		{"bad cat loss", []string{"-categorical-loss", "x"}, sampleTSV, 2},
+		{"bad scheme", []string{"-weights", "x"}, sampleTSV, 2},
+		{"bad input", nil, "garbage\tdata\n", 1},
+		{"missing file", []string{"/nonexistent/file.tsv"}, "", 1},
+		{"stream without timestamps", []string{"-stream-window", "1"}, sampleTSV, 1},
+	}
+	for _, c := range cases {
+		_, errS, code := runCLI(t, c.args, c.stdin)
+		if code != c.code {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", c.name, code, c.code, errS)
+		}
+	}
+}
+
+const liveTSV = `P	x	continuous
+O	d0	0
+V	d0	x	good	10
+V	d0	x	bad	90
+V	d0	x	mid	10.5
+O	d1	1
+V	d1	x	good	11
+V	d1	x	bad	-40
+V	d1	x	mid	11.5
+O	d2	2
+V	d2	x	good	12
+V	d2	x	bad	200
+V	d2	x	mid	12.5
+`
+
+func TestCLILiveStreaming(t *testing.T) {
+	out, errS, code := runCLI(t, []string{"-stream-window", "1", "-live"}, liveTSV)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errS)
+	}
+	for _, want := range []string{
+		"# window 0: 1 entries resolved",
+		"# window 2: 1 entries resolved",
+		"# live stream complete: 3 windows",
+		"W\tgood\t",
+		"W\tbad\t",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("live output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLILiveRequiresWindow(t *testing.T) {
+	_, _, code := runCLI(t, []string{"-live"}, liveTSV)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCLILiveBadStream(t *testing.T) {
+	_, _, code := runCLI(t, []string{"-stream-window", "1", "-live"}, "V\to\tp\ts\t1\n")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,68 @@
+// Command crhbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	crhbench -exp table2           # one experiment, small scale
+//	crhbench -exp all -scale full  # everything at the paper's scale
+//	crhbench -list                 # enumerate experiment IDs
+//
+// Small scale shrinks the large simulations so every experiment finishes
+// in seconds; full scale uses the paper's data set sizes (Tables 1 and 3)
+// and can take a long time for the baseline-heavy tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/crhkit/crh/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crhbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment ID (e.g. table2, fig5) or 'all'")
+	scale := fs.String("scale", "small", "data scale: small | full")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		reg := experiments.Registry()
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(stdout, "%-8s %s\n", id, reg[id].Caption)
+		}
+		return 0
+	}
+
+	var s experiments.Scale
+	switch *scale {
+	case "small":
+		s = experiments.ScaleSmall
+	case "full":
+		s = experiments.ScaleFull
+	default:
+		fmt.Fprintf(stderr, "crhbench: unknown scale %q (want small or full)\n", *scale)
+		return 2
+	}
+
+	if *exp == "all" {
+		experiments.RunAll(s, stdout)
+		return 0
+	}
+	e, ok := experiments.Registry()[*exp]
+	if !ok {
+		fmt.Fprintf(stderr, "crhbench: unknown experiment %q; -list shows the options\n", *exp)
+		return 2
+	}
+	e.Run(s).Render(stdout)
+	return 0
+}

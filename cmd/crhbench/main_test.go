@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCrhbenchList(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errB); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"table1", "table2", "fig1", "table6", "fig8"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("listing missing %s", id)
+		}
+	}
+}
+
+func TestCrhbenchSingleExperiment(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-exp", "table1"}, &out, &errB); code != 0 {
+		t.Fatalf("exit %d (%s)", code, errB.String())
+	}
+	if !strings.Contains(out.String(), "# Observations") {
+		t.Fatalf("table1 output malformed:\n%s", out.String())
+	}
+}
+
+func TestCrhbenchErrors(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-exp", "table99"}, &out, &errB); code != 2 {
+		t.Fatalf("unknown experiment: exit %d", code)
+	}
+	if code := run([]string{"-scale", "gigantic"}, &out, &errB); code != 2 {
+		t.Fatalf("unknown scale: exit %d", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errB); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}

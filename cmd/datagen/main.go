@@ -1,0 +1,69 @@
+// Command datagen emits the synthetic multi-source data sets used in the
+// experiments, in the library's TSV format, so they can be inspected,
+// versioned, or fed to cmd/crh.
+//
+// Usage:
+//
+//	datagen -dataset weather > weather.tsv
+//	datagen -dataset adult -rows 5000 -seed 7 > adult.tsv
+//	datagen -dataset stock -symbols 100 -days 5 | crh -quiet
+//
+// Every output includes the ground-truth rows (T records), so cmd/crh
+// evaluates automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	crh "github.com/crhkit/crh"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dataset = fs.String("dataset", "weather", "weather | stock | flight | adult | bank")
+		seed    = fs.Int64("seed", 1, "random seed")
+		rows    = fs.Int("rows", 0, "rows for adult/bank (0 = original UCI size)")
+		symbols = fs.Int("symbols", 0, "symbols for stock (0 = default)")
+		flights = fs.Int("flights", 0, "flights for flight (0 = default)")
+		days    = fs.Int("days", 0, "days for weather/stock/flight (0 = default)")
+		cities  = fs.Int("cities", 0, "cities for weather (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var (
+		d  *crh.Dataset
+		gt *crh.Table
+	)
+	switch *dataset {
+	case "weather":
+		d, gt = crh.GenerateWeather(crh.WeatherOptions{Seed: *seed, Cities: *cities, Days: *days})
+	case "stock":
+		d, gt = crh.GenerateStock(crh.StockOptions{Seed: *seed, Symbols: *symbols, Days: *days})
+	case "flight":
+		d, gt = crh.GenerateFlight(crh.FlightOptions{Seed: *seed, Flights: *flights, Days: *days})
+	case "adult":
+		d, gt = crh.GenerateAdult(crh.UCIOptions{Seed: *seed, Rows: *rows})
+	case "bank":
+		d, gt = crh.GenerateBank(crh.UCIOptions{Seed: *seed, Rows: *rows})
+	default:
+		fmt.Fprintf(stderr, "datagen: unknown dataset %q\n", *dataset)
+		return 2
+	}
+	if err := crh.WriteDataset(stdout, d, gt); err != nil {
+		fmt.Fprintf(stderr, "datagen: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	crh "github.com/crhkit/crh"
+)
+
+func TestDatagenAllDatasets(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "weather", "-cities", "2", "-days", "3"},
+		{"-dataset", "stock", "-symbols", "3", "-days", "2"},
+		{"-dataset", "flight", "-flights", "3", "-days", "2"},
+		{"-dataset", "adult", "-rows", "20"},
+		{"-dataset", "bank", "-rows", "20"},
+	}
+	for _, args := range cases {
+		var out, errB bytes.Buffer
+		if code := run(args, &out, &errB); code != 0 {
+			t.Fatalf("%v: exit %d (%s)", args, code, errB.String())
+		}
+		// The emitted TSV must decode back into a valid dataset with
+		// ground truth.
+		d, gt, err := crh.ReadDataset(&out)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", args, err)
+		}
+		if d.NumObservations() == 0 {
+			t.Fatalf("%v: empty dataset", args)
+		}
+		if gt == nil || gt.Count() == 0 {
+			t.Fatalf("%v: no ground truth", args)
+		}
+	}
+}
+
+func TestDatagenDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-dataset", "adult", "-rows", "10", "-seed", "3"}, &a, &bytes.Buffer{})
+	run([]string{"-dataset", "adult", "-rows", "10", "-seed", "3"}, &b, &bytes.Buffer{})
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-dataset", "nope"}, &out, &errB); code != 2 {
+		t.Fatalf("unknown dataset: exit %d", code)
+	}
+	if !strings.Contains(errB.String(), "unknown dataset") {
+		t.Fatal("error message missing")
+	}
+	if code := run([]string{"-badflag"}, &out, &errB); code != 2 {
+		t.Fatal("bad flag should exit 2")
+	}
+}

@@ -1,0 +1,276 @@
+package crh_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	crh "github.com/crhkit/crh"
+)
+
+// buildNoisy constructs a dataset through the public API: nGood accurate
+// sources and nBad unreliable ones over nObj objects with one continuous
+// and one categorical property. Returns the dataset and ground truth.
+func buildNoisy(t *testing.T, seed int64, nGood, nBad, nObj int) (*crh.Dataset, *crh.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := crh.NewBuilder()
+	conds := []string{"a", "b", "c", "d"}
+	type row struct {
+		temp float64
+		cond string
+	}
+	rows := make([]row, nObj)
+	for i := range rows {
+		rows[i] = row{temp: rng.Float64() * 100, cond: conds[rng.Intn(len(conds))]}
+	}
+	observe := func(src string, good bool) {
+		for i, r := range rows {
+			obj := "obj" + strconv.Itoa(i)
+			temp, cond := r.temp, r.cond
+			if good {
+				temp += rng.NormFloat64()
+			} else {
+				temp += rng.NormFloat64() * 20
+			}
+			flip := 0.05
+			if !good {
+				flip = 0.65
+			}
+			if rng.Float64() < flip {
+				cond = conds[rng.Intn(len(conds))]
+			}
+			if err := b.ObserveFloat(src, obj, "temp", temp); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.ObserveCat(src, obj, "cond", cond); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k := 0; k < nGood; k++ {
+		observe("good"+strconv.Itoa(k), true)
+	}
+	for k := 0; k < nBad; k++ {
+		observe("bad"+strconv.Itoa(k), false)
+	}
+	d := b.Build()
+	gt := crh.NewTable(d)
+	for i, r := range rows {
+		gt.SetAt(i, 0, crh.Float(r.temp))
+		id, _ := d.Prop(1).CatID(r.cond)
+		gt.SetAt(i, 1, crh.Cat(id))
+	}
+	return d, gt
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	d, gt := buildNoisy(t, 1, 3, 5, 150)
+	res, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truths.Count() != d.NumEntries() {
+		t.Fatal("incomplete truths")
+	}
+	m := crh.Evaluate(d, res.Truths, gt)
+	if m.ErrorRate > 0.05 {
+		t.Fatalf("error rate = %v", m.ErrorRate)
+	}
+	if m.MNAD > 0.5 {
+		t.Fatalf("MNAD = %v", m.MNAD)
+	}
+	// Good sources must outweigh bad ones.
+	if !(res.Weights[0] > res.Weights[d.NumSources()-1]) {
+		t.Fatalf("weights = %v", res.Weights)
+	}
+	// CRH weights should correlate with ground-truth reliability.
+	rel := crh.TrueReliability(d, gt)
+	if corr := pearson(res.Weights, rel); corr < 0.7 {
+		t.Fatalf("weight/reliability correlation = %v", corr)
+	}
+}
+
+func TestPublicOptionVariants(t *testing.T) {
+	d, gt := buildNoisy(t, 2, 3, 4, 120)
+	cases := []crh.Options{
+		{ContinuousLoss: crh.SquaredLoss()},
+		{ContinuousLoss: crh.AbsoluteLoss(), CategoricalLoss: crh.ProbabilisticLoss()},
+		{Scheme: crh.ExpSumWeights()},
+		{Scheme: crh.TopJWeights(3)},
+		{ContinuousLoss: crh.BregmanLoss("sq", func(x float64) float64 { return x * x }, func(x float64) float64 { return 2 * x })},
+	}
+	for i, opts := range cases {
+		res, err := crh.Run(d, opts)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		m := crh.Evaluate(d, res.Truths, gt)
+		if m.ErrorRate > 0.15 {
+			t.Fatalf("case %d error rate = %v", i, m.ErrorRate)
+		}
+	}
+}
+
+func TestPublicEditDistanceLoss(t *testing.T) {
+	b := crh.NewBuilder()
+	// Three sources report gate strings; two near-identical variants
+	// should beat one unrelated value even without weights.
+	b.ObserveCat("s1", "fl1", "gate", "B12")
+	b.ObserveCat("s2", "fl1", "gate", "B-12")
+	b.ObserveCat("s3", "fl1", "gate", "C7")
+	d := b.Build()
+	res, err := crh.Run(d, crh.Options{CategoricalLoss: crh.EditDistanceLoss()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := res.Truths.GetAt(0, 0)
+	if !ok {
+		t.Fatal("unresolved")
+	}
+	if name := d.Prop(0).CatName(int(v.C)); name != "B12" && name != "B-12" {
+		t.Fatalf("edit-distance truth = %q", name)
+	}
+}
+
+func TestPublicStream(t *testing.T) {
+	// Timestamped data through the public API.
+	b := crh.NewBuilder()
+	rng := rand.New(rand.NewSource(3))
+	for day := 0; day < 10; day++ {
+		for i := 0; i < 20; i++ {
+			obj := "d" + strconv.Itoa(day) + "/o" + strconv.Itoa(i)
+			truth := rng.Float64() * 50
+			b.ObserveFloat("good1", obj, "x", truth+rng.NormFloat64()*0.1)
+			b.ObserveFloat("good2", obj, "x", truth+rng.NormFloat64()*0.2)
+			b.ObserveFloat("bad", obj, "x", truth+rng.NormFloat64()*15)
+			b.SetTimestamp(obj, day)
+		}
+	}
+	d := b.Build()
+	res, err := crh.RunStream(d, 1, crh.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunkCount != 10 {
+		t.Fatalf("chunks = %d", res.ChunkCount)
+	}
+	if !(res.Weights[0] > res.Weights[2]) || !(res.Weights[1] > res.Weights[2]) {
+		t.Fatalf("stream weights = %v", res.Weights)
+	}
+	// Processor-level API for unbounded streams.
+	chunks, err := crh.ChunksByWindow(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := crh.NewStreamProcessor(d.NumSources(), crh.StreamOptions{})
+	for _, ch := range chunks {
+		if truths := p.Process(ch.Data); truths.Count() == 0 {
+			t.Fatal("chunk resolved nothing")
+		}
+	}
+	if p.Chunks() != len(chunks) {
+		t.Fatal("processor chunk count")
+	}
+}
+
+func TestPublicParallel(t *testing.T) {
+	d, gt := buildNoisy(t, 4, 3, 4, 100)
+	serial, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := crh.RunParallel(d, crh.ParallelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := crh.Evaluate(d, serial.Truths, gt)
+	mp := crh.Evaluate(d, par.Truths, gt)
+	if math.Abs(ms.ErrorRate-mp.ErrorRate) > 0.03 {
+		t.Fatalf("serial %v vs parallel %v error rates diverge", ms.ErrorRate, mp.ErrorRate)
+	}
+	if len(par.Jobs) == 0 || par.SimulatedTime <= 0 {
+		t.Fatal("parallel diagnostics missing")
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	d, gt := buildNoisy(t, 5, 3, 4, 120)
+	crhRes, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crhM := crh.Evaluate(d, crhRes.Truths, gt)
+	if len(crh.Baselines()) != 10 {
+		t.Fatal("want 10 baselines")
+	}
+	for _, m := range crh.Baselines() {
+		truths, _ := m.Resolve(d)
+		bm := crh.Evaluate(d, truths, gt)
+		// CRH should beat or tie every baseline on this data (within
+		// noise on the easy ones).
+		if !math.IsNaN(bm.ErrorRate) && bm.ErrorRate+0.02 < crhM.ErrorRate {
+			t.Errorf("%s error rate %v beats CRH %v", m.Name(), bm.ErrorRate, crhM.ErrorRate)
+		}
+	}
+}
+
+func TestPublicCodec(t *testing.T) {
+	d, gt := buildNoisy(t, 6, 2, 2, 30)
+	var buf bytes.Buffer
+	if err := crh.WriteDataset(&buf, d, gt); err != nil {
+		t.Fatal(err)
+	}
+	d2, gt2, err := crh.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumObservations() != d.NumObservations() {
+		t.Fatal("observations changed")
+	}
+	if gt2 == nil || gt2.Count() != gt.Count() {
+		t.Fatal("ground truth changed")
+	}
+	// Results on the decoded dataset must match the original.
+	r1, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := crh.Run(d2, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range r1.Weights {
+		if math.Abs(r1.Weights[k]-r2.Weights[k]) > 1e-12 {
+			t.Fatal("weights differ after codec round trip")
+		}
+	}
+}
+
+func TestPublicEmptyDataset(t *testing.T) {
+	if _, err := crh.Run(crh.NewBuilder().Build(), crh.Options{}); err != crh.ErrEmptyDataset {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var sxy, sxx, syy float64
+	for i := range a {
+		sxy += (a[i] - ma) * (b[i] - mb)
+		sxx += (a[i] - ma) * (a[i] - ma)
+		syy += (b[i] - mb) * (b[i] - mb)
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,128 @@
+package crh_test
+
+import (
+	"fmt"
+
+	crh "github.com/crhkit/crh"
+)
+
+// The basic workflow: build a dataset from conflicting observations, run
+// CRH, read truths and source weights.
+func ExampleRun() {
+	b := crh.NewBuilder()
+	// Three sources report tomorrow's forecast for one city; the third
+	// source is unreliable across the board.
+	obs := []struct {
+		source string
+		high   float64
+		cond   string
+	}{
+		{"alpha", 84, "sunny"},
+		{"beta", 83, "sunny"},
+		{"gamma", 70, "rain"},
+	}
+	for _, o := range obs {
+		b.ObserveFloat(o.source, "nyc", "high_temp", o.high)
+		b.ObserveCat(o.source, "nyc", "condition", o.cond)
+	}
+	d := b.Build()
+
+	res, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		panic(err)
+	}
+	temp, _ := res.Truths.GetAt(0, 0)
+	cond, _ := res.Truths.GetAt(0, 1)
+	fmt.Printf("high_temp: %g\n", temp.F)
+	fmt.Printf("condition: %s\n", d.Prop(1).CatName(int(cond.C)))
+	fmt.Printf("gamma is least reliable: %v\n",
+		res.Weights[2] < res.Weights[0] && res.Weights[2] < res.Weights[1])
+	// Output:
+	// high_temp: 83
+	// condition: sunny
+	// gamma is least reliable: true
+}
+
+// Losses and weight schemes are pluggable; here the weighted mean
+// replaces the weighted median and only the top two sources are kept.
+func ExampleRun_options() {
+	b := crh.NewBuilder()
+	for i, v := range []float64{10, 11, 12, 300} {
+		b.ObserveFloat(fmt.Sprintf("s%d", i), "obj", "x", v)
+	}
+	res, err := crh.Run(b.Build(), crh.Options{
+		ContinuousLoss: crh.SquaredLoss(),  // weighted mean (Eq 13-14)
+		Scheme:         crh.TopJWeights(2), // keep the 2 best sources (Eq 7)
+	})
+	if err != nil {
+		panic(err)
+	}
+	var kept int
+	for _, w := range res.Weights {
+		if w == 1 {
+			kept++
+		}
+	}
+	fmt.Printf("sources kept: %d\n", kept)
+	v, _ := res.Truths.GetAt(0, 0)
+	fmt.Printf("outlier excluded: %v\n", v.F < 20)
+	// Output:
+	// sources kept: 2
+	// outlier excluded: true
+}
+
+// Incremental CRH consumes timestamped data chunk by chunk — each chunk
+// is scanned once, using the weights learned from earlier chunks.
+func ExampleRunStream() {
+	b := crh.NewBuilder()
+	for day := 0; day < 3; day++ {
+		obj := fmt.Sprintf("day%d", day)
+		b.ObserveFloat("good", obj, "reading", 100+float64(day))
+		b.ObserveFloat("noisy", obj, "reading", 100+float64(day)+20)
+		b.ObserveFloat("steady", obj, "reading", 100+float64(day)+1)
+		b.SetTimestamp(obj, day)
+	}
+	res, err := crh.RunStream(b.Build(), 1, crh.StreamOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chunks processed: %d\n", res.ChunkCount)
+	fmt.Printf("entries resolved: %d\n", res.Truths.Count())
+	// Output:
+	// chunks processed: 3
+	// entries resolved: 3
+}
+
+// Evaluate scores any method's output against a partial ground truth
+// using the paper's measures.
+func ExampleEvaluate() {
+	b := crh.NewBuilder()
+	b.ObserveCat("s1", "o", "color", "red")
+	b.ObserveCat("s2", "o", "color", "red")
+	b.ObserveCat("s3", "o", "color", "blue")
+	d := b.Build()
+
+	res, _ := crh.Run(d, crh.Options{})
+
+	gt := crh.NewTable(d)
+	id, _ := d.Prop(0).CatID("red")
+	gt.SetAt(0, 0, crh.Cat(id))
+
+	m := crh.Evaluate(d, res.Truths, gt)
+	fmt.Printf("error rate: %.1f\n", m.ErrorRate)
+	// Output:
+	// error rate: 0.0
+}
+
+// The baselines from the paper's comparison run through the same Method
+// interface as CRH.
+func ExampleBaselines() {
+	for _, m := range crh.Baselines()[:4] {
+		fmt.Println(m.Name())
+	}
+	// Output:
+	// Mean
+	// Median
+	// GTM
+	// Voting
+}

@@ -1,0 +1,80 @@
+// Quickstart: resolve conflicts among three sources reporting a patient's
+// record — the heterogeneous-data scenario from the paper's introduction
+// (integrating health record databases with mixed-type properties).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crh "github.com/crhkit/crh"
+)
+
+func main() {
+	b := crh.NewBuilder()
+
+	// Three hospital databases describe the same two patients. They
+	// disagree: db-south has stale, sloppy records.
+	type obs struct {
+		source, patient string
+		age, weight     float64
+		bloodType, city string
+	}
+	records := []obs{
+		{"db-north", "alice", 42, 61.5, "A+", "Springfield"},
+		{"db-east", "alice", 42, 62.0, "A+", "Springfield"},
+		{"db-south", "alice", 24, 80.0, "O-", "Shelbyville"},
+		{"db-north", "bob", 57, 83.1, "B+", "Ogdenville"},
+		{"db-east", "bob", 57, 83.4, "B+", "Ogdenville"},
+		{"db-south", "bob", 57, 70.0, "AB+", "Ogdenville"},
+	}
+	for _, r := range records {
+		must(b.ObserveFloat(r.source, r.patient, "age", r.age))
+		must(b.ObserveFloat(r.source, r.patient, "weight", r.weight))
+		must(b.ObserveCat(r.source, r.patient, "blood_type", r.bloodType))
+		must(b.ObserveCat(r.source, r.patient, "city", r.city))
+	}
+	d := b.Build()
+
+	// One call resolves every entry and rates every source. The zero
+	// Options value selects the paper's defaults: weighted median for
+	// continuous properties, weighted voting for categorical ones.
+	res, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("resolved records:")
+	for i := 0; i < d.NumObjects(); i++ {
+		fmt.Printf("  %s:", d.ObjectName(i))
+		for m := 0; m < d.NumProps(); m++ {
+			p := d.Prop(m)
+			v, ok := res.Truths.GetAt(i, m)
+			if !ok {
+				continue
+			}
+			if p.Type == crh.Categorical {
+				fmt.Printf("  %s=%s", p.Name, p.CatName(int(v.C)))
+			} else {
+				fmt.Printf("  %s=%g", p.Name, v.F)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsource reliability weights (higher = more reliable):")
+	for k := 0; k < d.NumSources(); k++ {
+		fmt.Printf("  %-9s %.3f\n", d.SourceName(k), res.Weights[k])
+	}
+	fmt.Printf("\nconverged in %d iterations\n", res.Iterations)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

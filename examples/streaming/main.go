@@ -1,0 +1,69 @@
+// Streaming: incremental CRH (I-CRH) over data arriving day by day — the
+// paper's Section 2.6 scenario where "it is impractical to wait until all
+// the data are collected to estimate source reliability".
+//
+// A StreamProcessor consumes one chunk at a time: each chunk's truths are
+// produced immediately from the weights learned so far, and the weights
+// are refreshed from decayed accumulated distances. The example shows the
+// weight trajectory stabilizing after a few days and compares the final
+// result with batch CRH over the same data.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crh "github.com/crhkit/crh"
+)
+
+func main() {
+	d, gt := crh.GenerateWeather(crh.WeatherOptions{Seed: 99})
+
+	// Split the month into daily chunks, as a crawler would deliver
+	// them.
+	chunks, err := crh.ChunksByWindow(d, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Decay α = 0.8: recent days matter more for source weights.
+	proc := crh.NewStreamProcessor(d.NumSources(), crh.StreamOptions{Decay: 0.8, DecaySet: true})
+
+	fmt.Println("day-by-day processing (weight of best and worst source):")
+	for _, ch := range chunks {
+		truths := proc.Process(ch.Data)
+		ws := proc.Weights()
+		best, worst := ws[0], ws[0]
+		for _, w := range ws {
+			if w > best {
+				best = w
+			}
+			if w < worst {
+				worst = w
+			}
+		}
+		fmt.Printf("  day %2d: %4d entries resolved, weight spread [%.2f, %.2f]\n",
+			ch.Timestamp, truths.Count(), worst, best)
+	}
+
+	// The same stream through the one-call API, evaluated against the
+	// withheld ground truth and compared with batch CRH.
+	inc, err := crh.RunStream(d, 1, crh.StreamOptions{Decay: 0.8, DecaySet: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mi := crh.Evaluate(d, inc.Truths, gt)
+	mb := crh.Evaluate(d, batch.Truths, gt)
+	fmt.Printf("\n%-8s error rate %.4f  MNAD %.4f   (single pass)\n", "I-CRH", mi.ErrorRate, mi.MNAD)
+	fmt.Printf("%-8s error rate %.4f  MNAD %.4f   (iterates over all data)\n", "CRH", mb.ErrorRate, mb.MNAD)
+	fmt.Println("\nI-CRH trades a little accuracy for one-pass processing —")
+	fmt.Println("exactly the Table 5 tradeoff from the paper.")
+}

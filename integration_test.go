@@ -1,0 +1,163 @@
+package crh_test
+
+// Cross-variant integration tests: the same dataset resolved by batch,
+// streaming and MapReduce CRH, serialized and reloaded, compared against
+// ground truth and each other. These are the end-to-end guarantees a
+// downstream user relies on.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	crh "github.com/crhkit/crh"
+)
+
+func TestIntegrationWeatherPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	d, gt := crh.GenerateWeather(crh.WeatherOptions{Seed: 1234})
+
+	// 1. Batch CRH.
+	batch, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := crh.Evaluate(d, batch.Truths, gt)
+
+	// 2. The same data via serialization round-trip must give identical
+	// metrics.
+	var buf bytes.Buffer
+	if err := crh.WriteDataset(&buf, d, gt); err != nil {
+		t.Fatal(err)
+	}
+	d2, gt2, err := crh.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := crh.Run(d2, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb2 := crh.Evaluate(d2, batch2.Truths, gt2)
+	// Decoding interns sources in first-encounter order, so weighted-
+	// median ties may resolve differently at the last ulp; metrics must
+	// agree to practical precision, not bit-for-bit.
+	if math.Abs(mb.ErrorRate-mb2.ErrorRate) > 0.01 || math.Abs(mb.MNAD-mb2.MNAD) > 0.01 {
+		t.Fatalf("codec round-trip changed results: %+v vs %+v", mb, mb2)
+	}
+
+	// 3. Streaming on daily chunks: close to batch.
+	inc, err := crh.RunStream(d, 1, crh.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := crh.Evaluate(d, inc.Truths, gt)
+	if mi.ErrorRate > mb.ErrorRate+0.05 {
+		t.Fatalf("stream error %v too far from batch %v", mi.ErrorRate, mb.ErrorRate)
+	}
+
+	// 4. MapReduce: near-identical to batch.
+	par, err := crh.RunParallel(d, crh.ParallelOptions{Reducers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := crh.Evaluate(d, par.Truths, gt)
+	if math.Abs(mp.ErrorRate-mb.ErrorRate) > 0.02 {
+		t.Fatalf("parallel error %v diverges from batch %v", mp.ErrorRate, mb.ErrorRate)
+	}
+
+	// 5. All three weight vectors agree on the reliability ordering of
+	// the extreme sources.
+	best, worst := 0, 0
+	for k, w := range batch.Weights {
+		if w > batch.Weights[best] {
+			best = k
+		}
+		if w < batch.Weights[worst] {
+			worst = k
+		}
+	}
+	if !(inc.Weights[best] > inc.Weights[worst]) {
+		t.Error("stream weights disagree on extreme sources")
+	}
+	if !(par.Weights[best] > par.Weights[worst]) {
+		t.Error("parallel weights disagree on extreme sources")
+	}
+}
+
+// TestIntegrationAllMethodsAllDatasets smoke-runs every method on every
+// generator at tiny scale: no panics, no NaN weights, sane metric ranges.
+func TestIntegrationAllMethodsAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	datasets := []struct {
+		name string
+		d    *crh.Dataset
+		gt   *crh.Table
+	}{}
+	d, gt := crh.GenerateWeather(crh.WeatherOptions{Seed: 5, Cities: 4, Days: 6})
+	datasets = append(datasets, struct {
+		name string
+		d    *crh.Dataset
+		gt   *crh.Table
+	}{"weather", d, gt})
+	d, gt = crh.GenerateStock(crh.StockOptions{Seed: 5, Symbols: 10, Days: 3})
+	datasets = append(datasets, struct {
+		name string
+		d    *crh.Dataset
+		gt   *crh.Table
+	}{"stock", d, gt})
+	d, gt = crh.GenerateFlight(crh.FlightOptions{Seed: 5, Flights: 10, Days: 3})
+	datasets = append(datasets, struct {
+		name string
+		d    *crh.Dataset
+		gt   *crh.Table
+	}{"flight", d, gt})
+	d, gt = crh.GenerateAdult(crh.UCIOptions{Seed: 5, Rows: 50})
+	datasets = append(datasets, struct {
+		name string
+		d    *crh.Dataset
+		gt   *crh.Table
+	}{"adult", d, gt})
+	d, gt = crh.GenerateBank(crh.UCIOptions{Seed: 5, Rows: 50})
+	datasets = append(datasets, struct {
+		name string
+		d    *crh.Dataset
+		gt   *crh.Table
+	}{"bank", d, gt})
+
+	for _, set := range datasets {
+		res, err := crh.Run(set.d, crh.Options{})
+		if err != nil {
+			t.Fatalf("%s: CRH: %v", set.name, err)
+		}
+		for _, w := range res.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				t.Fatalf("%s: CRH weight %v", set.name, w)
+			}
+		}
+		m := crh.Evaluate(set.d, res.Truths, set.gt)
+		_ = m
+		for _, method := range crh.Baselines() {
+			truths, rel := method.Resolve(set.d)
+			if truths == nil {
+				t.Fatalf("%s/%s: nil truths", set.name, method.Name())
+			}
+			for _, r := range rel {
+				if math.IsNaN(r) {
+					t.Fatalf("%s/%s: NaN reliability", set.name, method.Name())
+				}
+			}
+			bm := crh.Evaluate(set.d, truths, set.gt)
+			if !math.IsNaN(bm.ErrorRate) && (bm.ErrorRate < 0 || bm.ErrorRate > 1) {
+				t.Fatalf("%s/%s: error rate %v", set.name, method.Name(), bm.ErrorRate)
+			}
+			if !math.IsNaN(bm.MNAD) && bm.MNAD < 0 {
+				t.Fatalf("%s/%s: MNAD %v", set.name, method.Name(), bm.MNAD)
+			}
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// AccuCopy adds source-dependence detection to the AccuSim accuracy model
+// — the full model of Dong, Berti-Equille & Srivastava (VLDB 2009). The
+// CRH paper's comparison explicitly excludes dependence handling ("we do
+// not consider source dependency in this paper but leave it for future
+// work"); this implementation provides that future work.
+//
+// The key observation is that copiers share their original's *mistakes*:
+// two independent sources agree on a false value only by coincidence
+// (probability (1−A₁)(1−A₂)/n), while a copier agrees with whatever its
+// original says. Each iteration therefore:
+//
+//  1. estimates, for every source pair, the posterior probability of
+//     dependence from their agreement pattern (shared-true kt,
+//     shared-false kf, different kd counts):
+//
+//     P(Φ|indep) = (A₁A₂)^kt · (q·(1−A₁)(1−A₂))^kf · P_d^kd
+//     P(Φ|dep)   = (c·A₂ + (1−c)A₁A₂)^kt · (c·(1−A₂) + (1−c)·q·(1−A₁)(1−A₂))^kf · ((1−c)·P_d)^kd
+//     P(dep|Φ)   = α·P(Φ|dep) / (α·P(Φ|dep) + (1−α)·P(Φ|indep))
+//
+//     q = SameFalseCorr + (1−SameFalseCorr)/n is the probability two
+//     *independent* wrong sources land on the same wrong value. Dong et
+//     al.'s idealized 1/n makes any apparent false agreement overwhelming
+//     copy evidence — which misfires when the interim truth estimate is
+//     itself wrong (a pair of honest minority sources then "shares
+//     mistakes" on every entry the majority gets wrong). Real-world
+//     errors are correlated (common confusions, stale values), so the
+//     default SameFalseCorr = 0.85 keeps false agreement only mildly
+//     indicative; dependence is then driven by what actually separates
+//     copiers from honest cliques — they agree on nearly *everything*
+//     (the kd disagreement term), not merely on the same false values.
+//
+//  2. discounts dependent votes: when tallying a value's vote count, each
+//     claimant contributes τ(s)·I(s) with I(s) = Π_{s' counted before s}
+//     (1 − c·P(s~s'|Φ)) — a value backed by five copies of one source
+//     counts barely more than the original alone;
+//
+//  3. updates accuracies from the resulting value probabilities, as in
+//     AccuSim.
+type AccuCopy struct {
+	// N is the assumed count of uniformly-likely false values (default
+	// 10); C the probability a copier copies a particular value —
+	// default 0.95, i.e. near-verbatim copying, which is what makes the
+	// disagreement term able to veto honest high-agreement pairs (a pair
+	// agreeing on only ~80% of entries cannot be 95%-rate copies); Alpha
+	// the prior probability of dependence (default 0.2); SameFalseCorr
+	// the correlation of independent sources' errors (default 0.85; see
+	// the package comment above — 0 recovers Dong et al.'s idealized 1/n
+	// model).
+	N, C, Alpha, SameFalseCorr float64
+	// Rho weights the similarity adjustment inherited from AccuSim
+	// (default 0.5).
+	Rho float64
+	// InitAccuracy seeds A(s) (default 0.8).
+	InitAccuracy float64
+	// Iters bounds the rounds (default 15); Tol stops early (default
+	// 1e-6).
+	Iters int
+	Tol   float64
+}
+
+// Name implements Method.
+func (AccuCopy) Name() string { return "AccuCopy" }
+
+// Resolve implements Method. Reliability scores are the accuracies A(s).
+func (v AccuCopy) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	n := v.N
+	if n == 0 {
+		n = 10
+	}
+	c := v.C
+	if c == 0 {
+		c = 0.95
+	}
+	alpha := v.Alpha
+	if alpha == 0 {
+		alpha = 0.2
+	}
+	sfc := v.SameFalseCorr
+	if sfc == 0 {
+		sfc = 0.85
+	}
+	q := sfc + (1-sfc)/n
+	rho := v.Rho
+	if rho == 0 {
+		rho = 0.5
+	}
+	init := v.InitAccuracy
+	if init == 0 {
+		init = 0.8
+	}
+	iters := v.Iters
+	if iters == 0 {
+		iters = 15
+	}
+	tol := v.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	g := buildClaims(d)
+	K := d.NumSources()
+	acc := make([]float64, K)
+	for k := range acc {
+		acc[k] = init
+	}
+	prob := g.newScores()
+	votes := g.newScores()
+	// dep[s][t] is the posterior probability that s and t are dependent
+	// (symmetric; we do not need the copy direction for discounting).
+	dep := make([][]float64, K)
+	for k := range dep {
+		dep[k] = make([]float64, K)
+	}
+	prev := make([]float64, K)
+
+	clamp := func(a float64) float64 {
+		if a < 0.01 {
+			return 0.01
+		}
+		if a > 0.99 {
+			return 0.99
+		}
+		return a
+	}
+
+	// truthOf tracks the current best value index per claim-graph entry
+	// for the agreement counting; initialized to unweighted majority.
+	truthOf := make([]int, len(g.entries))
+	for i, ec := range g.entries {
+		best, bestN := 0, -1
+		for j := range ec.vals {
+			if l := len(ec.claimants[j]); l > bestN {
+				best, bestN = j, l
+			}
+		}
+		truthOf[i] = best
+	}
+
+	for it := 0; it < iters; it++ {
+		// ---- 1. Dependence detection ----
+		// Count agreement patterns per source pair over shared entries.
+		kt := make([][]int, K) // shared value that matches the truth
+		kf := make([][]int, K) // shared value that contradicts the truth
+		kd := make([][]int, K) // different values
+		for s := 0; s < K; s++ {
+			kt[s] = make([]int, K)
+			kf[s] = make([]int, K)
+			kd[s] = make([]int, K)
+		}
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				// Same value: every pair within srcs agrees.
+				match := j == truthOf[i]
+				for a := 0; a < len(srcs); a++ {
+					for b := a + 1; b < len(srcs); b++ {
+						if match {
+							kt[srcs[a]][srcs[b]]++
+						} else {
+							kf[srcs[a]][srcs[b]]++
+						}
+					}
+				}
+				// Different values: pairs across claimant groups.
+				for j2 := j + 1; j2 < len(ec.claimants); j2++ {
+					for _, a := range srcs {
+						for _, b := range ec.claimants[j2] {
+							lo, hi := a, b
+							if lo > hi {
+								lo, hi = hi, lo
+							}
+							kd[lo][hi]++
+						}
+					}
+				}
+			}
+		}
+		for s := 0; s < K; s++ {
+			for t2 := s + 1; t2 < K; t2++ {
+				a1, a2 := clamp(acc[s]), clamp(acc[t2])
+				pt := a1 * a2                   // independent same-true
+				pf := (1 - a1) * (1 - a2) * q   // independent same-false
+				pd := math.Max(1-pt-pf, 1e-9)   // independent different
+				dt := c*a2 + (1-c)*pt           // dependent same-true
+				df := c*(1-a2) + (1-c)*pf       // dependent same-false
+				dd := math.Max((1-c)*pd, 1e-12) // dependent different
+				logIndep := float64(kt[s][t2])*math.Log(pt) +
+					float64(kf[s][t2])*math.Log(pf) +
+					float64(kd[s][t2])*math.Log(pd)
+				logDep := float64(kt[s][t2])*math.Log(dt) +
+					float64(kf[s][t2])*math.Log(df) +
+					float64(kd[s][t2])*math.Log(dd)
+				// Posterior with prior α, computed stably in log space.
+				m := math.Max(logDep, logIndep)
+				pDep := alpha * math.Exp(logDep-m)
+				pInd := (1 - alpha) * math.Exp(logIndep-m)
+				p := pDep / (pDep + pInd)
+				dep[s][t2], dep[t2][s] = p, p
+			}
+		}
+
+		// ---- 2. Discounted vote counts, similarity, softmax ----
+		for i, ec := range g.entries {
+			nc := len(ec.claimants)
+			for j, srcs := range ec.claimants {
+				// Count the most independent (highest-accuracy) voters
+				// first so copies discount against originals.
+				order := append([]int(nil), srcs...)
+				sort.Slice(order, func(x, y int) bool {
+					if acc[order[x]] != acc[order[y]] {
+						return acc[order[x]] > acc[order[y]]
+					}
+					return order[x] < order[y]
+				})
+				var total float64
+				for oi, s := range order {
+					a := clamp(acc[s])
+					tau := math.Log(n * a / (1 - a))
+					ind := 1.0
+					for _, s2 := range order[:oi] {
+						ind *= 1 - c*dep[s][s2]
+					}
+					total += tau * ind
+				}
+				votes[i][j] = total
+			}
+			// Similarity adjustment and softmax (as AccuSim).
+			var max float64 = math.Inf(-1)
+			for j := 0; j < nc; j++ {
+				adj := votes[i][j]
+				for j2 := 0; j2 < nc; j2++ {
+					if j2 != j {
+						adj += rho * votes[i][j2] * g.similarity(i, j2, j)
+					}
+				}
+				prob[i][j] = adj
+				if adj > max {
+					max = adj
+				}
+			}
+			var z float64
+			for j := 0; j < nc; j++ {
+				prob[i][j] = math.Exp(prob[i][j] - max)
+				z += prob[i][j]
+			}
+			best := 0
+			for j := 0; j < nc; j++ {
+				prob[i][j] /= z
+				if prob[i][j] > prob[i][best] {
+					best = j
+				}
+			}
+			truthOf[i] = best
+		}
+
+		// ---- 3. Accuracy update ----
+		copy(prev, acc)
+		sum := make([]float64, K)
+		cnt := make([]float64, K)
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				for _, k := range srcs {
+					sum[k] += prob[i][j]
+					cnt[k]++
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			if cnt[k] > 0 {
+				acc[k] = sum[k] / cnt[k]
+			}
+		}
+		if maxAbsDelta(acc, prev) < tol {
+			break
+		}
+	}
+	return g.truthsFromScores(prob), acc
+}
+
+// Dependence returns the first-round pairwise dependence posteriors —
+// agreement patterns evaluated against the unweighted majority with
+// uniform prior accuracies. This is the detector's cleanest diagnostic
+// view (converged accuracies absorb copier consensus into the truth
+// estimate and mute the shared-false signal). Exposed for diagnostics and
+// tests; runs one detection pass.
+func (v AccuCopy) Dependence(d *data.Dataset) [][]float64 {
+	g := buildClaims(d)
+	K := d.NumSources()
+	n := v.N
+	if n == 0 {
+		n = 10
+	}
+	c := v.C
+	if c == 0 {
+		c = 0.95
+	}
+	alpha := v.Alpha
+	if alpha == 0 {
+		alpha = 0.2
+	}
+	sfc := v.SameFalseCorr
+	if sfc == 0 {
+		sfc = 0.85
+	}
+	q := sfc + (1-sfc)/n
+	init := v.InitAccuracy
+	if init == 0 {
+		init = 0.8
+	}
+	acc := make([]float64, K)
+	for k := range acc {
+		acc[k] = init
+	}
+	clamp := func(a float64) float64 {
+		if a < 0.01 {
+			return 0.01
+		}
+		if a > 0.99 {
+			return 0.99
+		}
+		return a
+	}
+	// Majority truth per entry is sufficient for diagnostics.
+	truthOf := make([]int, len(g.entries))
+	for i, ec := range g.entries {
+		best, bestN := 0, -1
+		for j := range ec.vals {
+			if l := len(ec.claimants[j]); l > bestN {
+				best, bestN = j, l
+			}
+		}
+		truthOf[i] = best
+	}
+	dep := make([][]float64, K)
+	for k := range dep {
+		dep[k] = make([]float64, K)
+	}
+	kt := make([][]int, K)
+	kf := make([][]int, K)
+	kd := make([][]int, K)
+	for s := 0; s < K; s++ {
+		kt[s] = make([]int, K)
+		kf[s] = make([]int, K)
+		kd[s] = make([]int, K)
+	}
+	for i, ec := range g.entries {
+		for j, srcs := range ec.claimants {
+			match := j == truthOf[i]
+			for a := 0; a < len(srcs); a++ {
+				for b := a + 1; b < len(srcs); b++ {
+					if match {
+						kt[srcs[a]][srcs[b]]++
+					} else {
+						kf[srcs[a]][srcs[b]]++
+					}
+				}
+			}
+			for j2 := j + 1; j2 < len(ec.claimants); j2++ {
+				for _, a := range srcs {
+					for _, b := range ec.claimants[j2] {
+						lo, hi := a, b
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						kd[lo][hi]++
+					}
+				}
+			}
+		}
+	}
+	for s := 0; s < K; s++ {
+		for t2 := s + 1; t2 < K; t2++ {
+			a1, a2 := clamp(acc[s]), clamp(acc[t2])
+			pt := a1 * a2
+			pf := (1 - a1) * (1 - a2) * q
+			pd := math.Max(1-pt-pf, 1e-9)
+			dt := c*a2 + (1-c)*pt
+			df := c*(1-a2) + (1-c)*pf
+			dd := math.Max((1-c)*pd, 1e-12)
+			logIndep := float64(kt[s][t2])*math.Log(pt) + float64(kf[s][t2])*math.Log(pf) + float64(kd[s][t2])*math.Log(pd)
+			logDep := float64(kt[s][t2])*math.Log(dt) + float64(kf[s][t2])*math.Log(df) + float64(kd[s][t2])*math.Log(dd)
+			m := math.Max(logDep, logIndep)
+			pDep := alpha * math.Exp(logDep-m)
+			pInd := (1 - alpha) * math.Exp(logIndep-m)
+			p := pDep / (pDep + pInd)
+			dep[s][t2], dep[t2][s] = p, p
+		}
+	}
+	return dep
+}

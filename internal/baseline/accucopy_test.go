@@ -1,0 +1,191 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/eval"
+)
+
+// copierScenario builds the canonical dependence trap of Dong et al.'s
+// Figure 1: two decent independent sources, one mediocre original
+// ("orig"), and nCopies copiers that replicate the original verbatim —
+// including its mistakes. The copier block outvotes the independents, so
+// majority voting and independence-assuming models follow it; copy
+// detection collapses the block to roughly one vote and recovers.
+func copierScenario(t *testing.T, seed int64, nObj, nCopies int) (*data.Dataset, *data.Table) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := data.NewBuilder()
+	p := b.MustProperty("fact", data.Categorical)
+	cats := make([]int, 8)
+	for i := range cats {
+		cats[i] = b.CatValue(p, fmt.Sprintf("v%d", i))
+	}
+	gt := make([]int, nObj)
+	origClaims := make([]int, nObj)
+	for i := 0; i < nObj; i++ {
+		b.Object(fmt.Sprintf("o%03d", i))
+		gt[i] = cats[rng.Intn(len(cats))]
+		// The original errs 30% of the time; its claim (right or
+		// wrong) is what every copier repeats.
+		origClaims[i] = gt[i]
+		if rng.Float64() < 0.30 {
+			alt := cats[rng.Intn(len(cats)-1)]
+			if alt >= gt[i] {
+				alt++
+			}
+			origClaims[i] = alt
+		}
+	}
+	indep1 := b.Source("indep1")
+	indep2 := b.Source("indep2")
+	orig := b.Source("orig")
+	for i := 0; i < nObj; i++ {
+		for _, src := range []int{indep1, indep2} {
+			claim := gt[i]
+			if rng.Float64() < 0.15 { // independent sources err less
+				alt := cats[rng.Intn(len(cats)-1)]
+				if alt >= gt[i] {
+					alt++
+				}
+				claim = alt
+			}
+			b.ObserveIdx(src, i, p, data.Cat(claim))
+		}
+		b.ObserveIdx(orig, i, p, data.Cat(origClaims[i]))
+	}
+	for cpy := 0; cpy < nCopies; cpy++ {
+		src := b.Source(fmt.Sprintf("copy%d", cpy))
+		for i := 0; i < nObj; i++ {
+			claim := origClaims[i]
+			if rng.Float64() < 0.02 { // copiers occasionally tweak
+				alt := cats[rng.Intn(len(cats)-1)]
+				if alt >= claim {
+					alt++
+				}
+				claim = alt
+			}
+			b.ObserveIdx(src, i, p, data.Cat(claim))
+		}
+	}
+	d := b.Build()
+	tb := data.NewTableFor(d)
+	for i := 0; i < nObj; i++ {
+		tb.SetAt(i, 0, data.Cat(gt[i]))
+	}
+	return d, tb
+}
+
+func TestAccuCopyBeatsAccuSimOnCopiers(t *testing.T) {
+	d, gt := copierScenario(t, 1, 400, 3)
+	simTruths, _ := AccuSim{}.Resolve(d)
+	copyTruths, _ := AccuCopy{}.Resolve(d)
+	simErr := eval.Evaluate(d, simTruths, gt).ErrorRate
+	copyErr := eval.Evaluate(d, copyTruths, gt).ErrorRate
+	// The copier block outvotes the two independents 4-to-2; without
+	// dependence handling the error tracks the original's 30%.
+	if !(copyErr < simErr) {
+		t.Fatalf("AccuCopy error %v should beat AccuSim %v on copier data", copyErr, simErr)
+	}
+	if copyErr > 0.22 {
+		t.Fatalf("AccuCopy error %v still tracks the copier block", copyErr)
+	}
+	// Voting definitely follows the copiers.
+	voteTruths, _ := Voting{}.Resolve(d)
+	voteErr := eval.Evaluate(d, voteTruths, gt).ErrorRate
+	if !(copyErr < voteErr) {
+		t.Fatalf("AccuCopy %v should beat voting %v", copyErr, voteErr)
+	}
+}
+
+func TestAccuCopyDetectsDependence(t *testing.T) {
+	d, _ := copierScenario(t, 2, 300, 2)
+	dep := AccuCopy{}.Dependence(d)
+	// Sources: 0=indep1, 1=indep2, 2=orig, 3..4=copies.
+	// Copier/original pairs must look far more dependent than the
+	// independent sources' pairs.
+	depCopy := dep[2][3]
+	depIndep := dep[0][2]
+	if !(depCopy > 0.9) {
+		t.Fatalf("copier/original dependence = %v, want > 0.9", depCopy)
+	}
+	if !(depIndep < 0.5) {
+		t.Fatalf("independent-pair dependence = %v, want < 0.5", depIndep)
+	}
+	// Copies of the same original are mutually dependent too.
+	if !(dep[3][4] > 0.9) {
+		t.Fatalf("copy/copy dependence = %v", dep[3][4])
+	}
+	// The two independents must not be flagged.
+	if !(dep[0][1] < 0.5) {
+		t.Fatalf("independent pair flagged dependent: %v", dep[0][1])
+	}
+	// Symmetry.
+	for s := range dep {
+		for t2 := range dep {
+			if dep[s][t2] != dep[t2][s] {
+				t.Fatal("dependence matrix not symmetric")
+			}
+		}
+	}
+}
+
+func TestAccuCopyNoCopiersHarmless(t *testing.T) {
+	// On independent-source data AccuCopy should roughly match AccuSim —
+	// the detector must not hallucinate dependence and wreck accuracy.
+	d, gt, _ := plantedMixed(41)
+	simErr := errorRateOf(t, AccuSim{}, d, gt)
+	copyErr := errorRateOf(t, AccuCopy{}, d, gt)
+	if copyErr > simErr+0.05 {
+		t.Fatalf("AccuCopy %v much worse than AccuSim %v on independent data", copyErr, simErr)
+	}
+	truths, rel := AccuCopy{}.Resolve(d)
+	if truths.Count() == 0 {
+		t.Fatal("no truths")
+	}
+	for _, r := range rel {
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			t.Fatalf("accuracy %v out of range", r)
+		}
+	}
+}
+
+func TestAccuCopyEdgeCases(t *testing.T) {
+	// Empty dataset.
+	truths, _ := AccuCopy{}.Resolve(data.NewBuilder().Build())
+	if truths.Count() != 0 {
+		t.Fatal("empty dataset")
+	}
+	// Single source.
+	b := data.NewBuilder()
+	b.ObserveCat("only", "o", "c", "v")
+	truths, rel := AccuCopy{}.Resolve(b.Build())
+	if truths.Count() != 1 || len(rel) != 1 {
+		t.Fatal("single source")
+	}
+	if (AccuCopy{}).Name() != "AccuCopy" {
+		t.Fatal("name")
+	}
+}
+
+func TestAccuCopyDeterministic(t *testing.T) {
+	d, _ := copierScenario(t, 3, 150, 3)
+	t1, r1 := AccuCopy{}.Resolve(d)
+	t2, r2 := AccuCopy{}.Resolve(d)
+	for e := 0; e < t1.Len(); e++ {
+		v1, ok1 := t1.Get(e)
+		v2, ok2 := t2.Get(e)
+		if ok1 != ok2 || v1 != v2 {
+			t.Fatal("truths not deterministic")
+		}
+	}
+	for k := range r1 {
+		if r1[k] != r2[k] {
+			t.Fatal("accuracies not deterministic")
+		}
+	}
+}

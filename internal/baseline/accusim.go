@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// AccuSim is the accuracy-with-similarity model of Dong, Berti-Equille &
+// Srivastava ("Integrating conflicting data: the role of source
+// dependence", VLDB 2009) — the Accu Bayesian model plus the similarity
+// vote adjustment, without the source-dependence detection (the paper's
+// comparison likewise excludes dependence handling). Each source has an
+// accuracy A(s); a value's vote count pools its claimants' accuracy
+// scores, borrows from similar values (which also implements the
+// complement vote of 2-Estimates for dissimilar ones), and value
+// probabilities follow a softmax over the entry's candidates:
+//
+//	τ(s)   = ln( n·A(s) / (1 − A(s)) )            (accuracy score)
+//	C(v)   = Σ_{s claims v} τ(s)                   (vote count)
+//	C*(v)  = C(v) + ρ · Σ_{v'≠v} C(v')·sim(v', v)  (similarity adjustment)
+//	P(v|e) = e^{C*(v)} / Σ_{v' ∈ e} e^{C*(v')}
+//	A(s)   = avg_{v ∈ claims(s)} P(v | entry(v))
+//
+// n is the assumed number of false values per entry. Defaults: n = 10,
+// ρ = 0.5, initial accuracy 0.8.
+type AccuSim struct {
+	// N is the assumed count of uniformly-likely false values (default
+	// 10).
+	N float64
+	// Rho weights the similarity adjustment (default 0.5).
+	Rho float64
+	// InitAccuracy seeds A(s) (default 0.8).
+	InitAccuracy float64
+	// Iters bounds the rounds (default 20); Tol stops early (default
+	// 1e-6).
+	Iters int
+	Tol   float64
+}
+
+// Name implements Method.
+func (AccuSim) Name() string { return "AccuSim" }
+
+// Resolve implements Method. Reliability scores are the accuracies A(s).
+func (v AccuSim) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	n := v.N
+	if n == 0 {
+		n = 10
+	}
+	rho := v.Rho
+	if rho == 0 {
+		rho = 0.5
+	}
+	init := v.InitAccuracy
+	if init == 0 {
+		init = 0.8
+	}
+	iters := v.Iters
+	if iters == 0 {
+		iters = 20
+	}
+	tol := v.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	g := buildClaims(d)
+	K := d.NumSources()
+	acc := make([]float64, K)
+	for k := range acc {
+		acc[k] = init
+	}
+	prob := g.newScores()
+	votes := g.newScores()
+	prev := make([]float64, K)
+
+	clamp := func(a float64) float64 {
+		if a < 0.01 {
+			return 0.01
+		}
+		if a > 0.99 {
+			return 0.99
+		}
+		return a
+	}
+
+	for it := 0; it < iters; it++ {
+		// Vote counts from accuracies.
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				var c float64
+				for _, k := range srcs {
+					a := clamp(acc[k])
+					c += math.Log(n * a / (1 - a))
+				}
+				votes[i][j] = c
+			}
+		}
+		// Similarity adjustment and softmax.
+		for i, ec := range g.entries {
+			nc := len(ec.claimants)
+			var max float64 = math.Inf(-1)
+			for j := 0; j < nc; j++ {
+				adj := votes[i][j]
+				for j2 := 0; j2 < nc; j2++ {
+					if j2 == j {
+						continue
+					}
+					adj += rho * votes[i][j2] * g.similarity(i, j2, j)
+				}
+				prob[i][j] = adj
+				if adj > max {
+					max = adj
+				}
+			}
+			var z float64
+			for j := 0; j < nc; j++ {
+				prob[i][j] = math.Exp(prob[i][j] - max)
+				z += prob[i][j]
+			}
+			for j := 0; j < nc; j++ {
+				prob[i][j] /= z
+			}
+		}
+		// Accuracy update.
+		copy(prev, acc)
+		sum := make([]float64, K)
+		cnt := make([]float64, K)
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				for _, k := range srcs {
+					sum[k] += prob[i][j]
+					cnt[k]++
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			if cnt[k] > 0 {
+				acc[k] = sum[k] / cnt[k]
+			}
+		}
+		if maxAbsDelta(acc, prev) < tol {
+			break
+		}
+	}
+	return g.truthsFromScores(prob), acc
+}

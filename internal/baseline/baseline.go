@@ -1,0 +1,166 @@
+// Package baseline implements the ten conflict-resolution methods the
+// paper compares CRH against (Section 3.1.2), from scratch:
+//
+//   - Mean, Median — unweighted aggregation of continuous data.
+//   - Voting — majority voting on categorical data.
+//   - GTM — the Gaussian Truth Model of Zhao & Han, a Bayesian truth
+//     discovery model for continuous data.
+//   - Investment, PooledInvestment — Pasternack & Roth's trust-investment
+//     fact finders.
+//   - TwoEstimates, ThreeEstimates — Galland et al.'s mutually recursive
+//     truth/error estimators.
+//   - TruthFinder — Yin et al.'s pioneering Bayesian-heuristic fact finder.
+//   - AccuSim — Dong et al.'s accuracy model with value similarity.
+//
+// The fact-finding methods treat every distinct observed value of an entry
+// as a candidate "fact" — including continuous observations, exactly as the
+// paper does when forcing them onto heterogeneous data ("we can enforce
+// them to handle data of heterogeneous types by regarding continuous
+// observations as facts too"). That forced treatment is what CRH's
+// type-aware losses improve on.
+package baseline
+
+import (
+	"math"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// Method is a conflict-resolution algorithm: it maps a multi-source
+// dataset to a truth table, plus per-source reliability scores when the
+// method estimates them (nil otherwise). Methods are unsupervised — they
+// never see ground truth.
+type Method interface {
+	Name() string
+	Resolve(d *data.Dataset) (*data.Table, []float64)
+}
+
+// claimGraph is the shared fact-finder representation: per entry, the
+// distinct claimed values and which sources claim each.
+type claimGraph struct {
+	d       *data.Dataset
+	entries []entryClaims
+	// claimCount[k] is the number of claims source k makes (equals its
+	// observation count).
+	claimCount []int
+	// entryStd[idx] is the observation spread for continuous entries
+	// (parallel to entries), used for value similarity.
+	entryStd []float64
+}
+
+type entryClaims struct {
+	e    int
+	vals []data.Value
+	// claimants[j] lists the sources claiming vals[j].
+	claimants [][]int
+}
+
+// buildClaims constructs the claim graph, skipping entries nobody observed.
+func buildClaims(d *data.Dataset) *claimGraph {
+	g := &claimGraph{d: d, claimCount: make([]int, d.NumSources())}
+	var vals []float64
+	for e := 0; e < d.NumEntries(); e++ {
+		p := d.Prop(d.EntryProp(e))
+		var ec entryClaims
+		ec.e = e
+		idx := make(map[data.Value]int, 4)
+		d.ForEntry(e, func(k int, v data.Value) {
+			// Canonicalize: only the type-relevant payload identifies
+			// a fact.
+			if p.Type == data.Categorical {
+				v = data.Cat(int(v.C))
+			} else {
+				v = data.Float(v.F)
+			}
+			j, ok := idx[v]
+			if !ok {
+				j = len(ec.vals)
+				idx[v] = j
+				ec.vals = append(ec.vals, v)
+				ec.claimants = append(ec.claimants, nil)
+			}
+			ec.claimants[j] = append(ec.claimants[j], k)
+			g.claimCount[k]++
+		})
+		if len(ec.vals) == 0 {
+			continue
+		}
+		g.entries = append(g.entries, ec)
+		std := 0.0
+		if p.Type == data.Continuous {
+			vals = vals[:0]
+			d.ForEntry(e, func(_ int, v data.Value) { vals = append(vals, v.F) })
+			std = stats.Std(vals)
+		}
+		g.entryStd = append(g.entryStd, std)
+	}
+	return g
+}
+
+// similarity returns sim(vals[a], vals[b]) ∈ [0, 1] for two candidate
+// facts of entry idx: exp(−|Δ|/std) for continuous values (1 at equality,
+// decaying with normalized distance) and 0 for distinct categorical values.
+// Used by TruthFinder and AccuSim to let close continuous claims support
+// each other.
+func (g *claimGraph) similarity(idx, a, b int) float64 {
+	p := g.d.Prop(g.d.EntryProp(g.entries[idx].e))
+	if p.Type == data.Categorical {
+		if g.entries[idx].vals[a].C == g.entries[idx].vals[b].C {
+			return 1
+		}
+		return 0
+	}
+	std := g.entryStd[idx]
+	if std < 1e-12 {
+		std = 1
+	}
+	return math.Exp(-math.Abs(g.entries[idx].vals[a].F-g.entries[idx].vals[b].F) / std)
+}
+
+// truthsFromScores assembles a truth table choosing each entry's
+// highest-scoring candidate (ties toward the earliest candidate, which is
+// the first-observed and thus deterministic).
+func (g *claimGraph) truthsFromScores(score [][]float64) *data.Table {
+	t := data.NewTableFor(g.d)
+	for i, ec := range g.entries {
+		best := stats.ArgMax(score[i])
+		if best >= 0 {
+			t.Set(ec.e, ec.vals[best])
+		}
+	}
+	return t
+}
+
+// newScores allocates a per-entry per-candidate score matrix.
+func (g *claimGraph) newScores() [][]float64 {
+	s := make([][]float64, len(g.entries))
+	for i := range g.entries {
+		s[i] = make([]float64, len(g.entries[i].vals))
+	}
+	return s
+}
+
+// maxAbsDelta returns the largest absolute difference between two source
+// score vectors — the convergence measure shared by the iterative methods.
+func maxAbsDelta(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// All returns the complete baseline suite in the paper's Table 2 order:
+// Mean, Median, GTM, Voting, Investment, PooledInvestment, 2-Estimates,
+// 3-Estimates, TruthFinder, AccuSim — each with its default parameters.
+func All() []Method {
+	return []Method{
+		Mean{}, Median{}, GTM{}, Voting{},
+		Investment{}, PooledInvestment{},
+		TwoEstimates{}, ThreeEstimates{},
+		TruthFinder{}, AccuSim{},
+	}
+}

@@ -1,0 +1,321 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/eval"
+	"github.com/crhkit/crh/internal/synth"
+)
+
+// microDataset: 3 sources, 2 objects, 1 continuous + 1 categorical
+// property, with hand-checkable aggregates.
+func microDataset(t *testing.T) *data.Dataset {
+	t.Helper()
+	b := data.NewBuilder()
+	obs := []struct {
+		src, obj string
+		temp     float64
+		cond     string
+	}{
+		{"s1", "o1", 10, "x"},
+		{"s2", "o1", 20, "x"},
+		{"s3", "o1", 90, "y"},
+		{"s1", "o2", 5, "z"},
+		{"s2", "o2", 7, "z"},
+		{"s3", "o2", 9, "z"},
+	}
+	for _, o := range obs {
+		if err := b.ObserveFloat(o.src, o.obj, "temp", o.temp); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ObserveCat(o.src, o.obj, "cond", o.cond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestMean(t *testing.T) {
+	d := microDataset(t)
+	truths, rel := Mean{}.Resolve(d)
+	if rel != nil {
+		t.Error("Mean should not estimate reliability")
+	}
+	v, ok := truths.GetAt(0, 0)
+	if !ok || v.F != 40 {
+		t.Fatalf("mean temp o1 = %v, want 40", v.F)
+	}
+	v, _ = truths.GetAt(1, 0)
+	if v.F != 7 {
+		t.Fatalf("mean temp o2 = %v, want 7", v.F)
+	}
+	// Categorical entries are left unresolved.
+	if _, ok := truths.GetAt(0, 1); ok {
+		t.Error("Mean must ignore categorical entries")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	d := microDataset(t)
+	truths, _ := Median{}.Resolve(d)
+	v, _ := truths.GetAt(0, 0)
+	if v.F != 20 {
+		t.Fatalf("median temp o1 = %v, want 20", v.F)
+	}
+}
+
+func TestVoting(t *testing.T) {
+	d := microDataset(t)
+	truths, rel := Voting{}.Resolve(d)
+	if rel != nil {
+		t.Error("Voting should not estimate reliability")
+	}
+	v, ok := truths.GetAt(0, 1)
+	if !ok {
+		t.Fatal("cond o1 unresolved")
+	}
+	if name := d.Prop(1).CatName(int(v.C)); name != "x" {
+		t.Fatalf("vote cond o1 = %q, want x", name)
+	}
+	if _, ok := truths.GetAt(0, 0); ok {
+		t.Error("Voting must ignore continuous entries")
+	}
+}
+
+// plantedMixed builds a noisy multi-source dataset from a small schema
+// using the synth corruption protocol, so reliability ordering is known:
+// profile k's γ increases with k.
+func plantedMixed(seed int64) (*data.Dataset, *data.Table, []synth.SourceProfile) {
+	schema := synth.Schema{
+		Name: "test",
+		Cols: []synth.Col{
+			{Name: "height", Type: data.Continuous, Dist: synth.Normal, Mean: 170, Std: 12, Min: 120, Max: 220, Round: 1},
+			{Name: "weight", Type: data.Continuous, Dist: synth.Normal, Mean: 70, Std: 14, Min: 35, Max: 160, Round: 1},
+			{Name: "blood", Type: data.Categorical, Cats: []string{"A", "B", "AB", "O"}, CatW: []float64{34, 9, 4, 38}},
+			{Name: "city", Type: data.Categorical, Cats: []string{"nyc", "sfo", "chi", "bos", "sea", "aus"}},
+		},
+	}
+	profiles := []synth.SourceProfile{
+		{Name: "good1", Gamma: 0.1},
+		{Name: "good2", Gamma: 0.3},
+		{Name: "mid", Gamma: 1.0},
+		{Name: "bad1", Gamma: 1.7},
+		{Name: "bad2", Gamma: 2.0},
+	}
+	w := synth.GenerateWorld(schema, 300, seed)
+	d, gt := synth.Corrupt(w, profiles, synth.CorruptConfig{Seed: seed + 1})
+	return d, gt, profiles
+}
+
+// errorRateOf runs a method and returns its categorical error rate.
+func errorRateOf(t *testing.T, m Method, d *data.Dataset, gt *data.Table) float64 {
+	t.Helper()
+	truths, _ := m.Resolve(d)
+	return eval.Evaluate(d, truths, gt).ErrorRate
+}
+
+func TestFactFindersBeatRandomGuessing(t *testing.T) {
+	d, gt, _ := plantedMixed(21)
+	// Random guessing among ~4-6 candidates would err ≥ 60%; every
+	// truth-discovery baseline must do far better on this easy data.
+	for _, m := range []Method{
+		Voting{}, Investment{}, PooledInvestment{}, TwoEstimates{},
+		ThreeEstimates{}, TruthFinder{}, AccuSim{},
+	} {
+		if rate := errorRateOf(t, m, d, gt); !(rate < 0.30) {
+			t.Errorf("%s error rate = %v, want < 0.30", m.Name(), rate)
+		}
+	}
+}
+
+func TestReliabilityOrderingTracksGamma(t *testing.T) {
+	d, gt, _ := plantedMixed(22)
+	trueRel := eval.TrueReliability(d, gt)
+	// Every reliability-estimating method should rank the best source
+	// above the worst and correlate positively with the truth.
+	for _, m := range []Method{
+		GTM{}, Investment{}, PooledInvestment{}, TwoEstimates{},
+		ThreeEstimates{}, TruthFinder{}, AccuSim{},
+	} {
+		_, rel := m.Resolve(d)
+		if rel == nil {
+			t.Fatalf("%s returned no reliability", m.Name())
+		}
+		if len(rel) != d.NumSources() {
+			t.Fatalf("%s reliability length %d", m.Name(), len(rel))
+		}
+		if !(rel[0] > rel[4]) {
+			t.Errorf("%s: best source score %v not above worst %v", m.Name(), rel[0], rel[4])
+		}
+		if c := eval.Correlation(rel, trueRel); !(c > 0.3) {
+			t.Errorf("%s: correlation with true reliability = %v, want > 0.3", m.Name(), c)
+		}
+	}
+}
+
+func TestGTMContinuousAccuracy(t *testing.T) {
+	d, gt, _ := plantedMixed(23)
+	truths, _ := GTM{}.Resolve(d)
+	m := eval.Evaluate(d, truths, gt)
+	// GTM must beat the unweighted mean on MNAD.
+	meanTruths, _ := Mean{}.Resolve(d)
+	mm := eval.Evaluate(d, meanTruths, gt)
+	if !(m.MNAD < mm.MNAD) {
+		t.Errorf("GTM MNAD %v should beat Mean %v", m.MNAD, mm.MNAD)
+	}
+	// And leave categorical entries unresolved.
+	if !math.IsNaN(m.ErrorRate) && m.CatWrong != m.CatEntries {
+		t.Error("GTM should not resolve categorical entries")
+	}
+}
+
+func TestWeightedMethodsBeatVotingOnSkewedSources(t *testing.T) {
+	// 2 good vs 5 bad sources: plain voting suffers, reliability-aware
+	// methods should recover (the phenomenon behind Figures 2-3).
+	profiles := []synth.SourceProfile{
+		{Name: "g1", Gamma: 0.05},
+		{Name: "g2", Gamma: 0.05},
+		{Name: "b1", Gamma: 2.4},
+		{Name: "b2", Gamma: 2.4},
+		{Name: "b3", Gamma: 2.4},
+		{Name: "b4", Gamma: 2.4},
+		{Name: "b5", Gamma: 2.4},
+	}
+	schema := synth.Schema{
+		Name: "skew",
+		Cols: []synth.Col{
+			{Name: "cat", Type: data.Categorical, Cats: []string{"a", "b", "c", "d", "e"}},
+		},
+	}
+	w := synth.GenerateWorld(schema, 400, 31)
+	d, gt := synth.Corrupt(w, profiles, synth.CorruptConfig{Seed: 32, FlipScale: 0.3})
+	voteRate := errorRateOf(t, Voting{}, d, gt)
+	for _, m := range []Method{PooledInvestment{}, AccuSim{}, TruthFinder{}} {
+		if rate := errorRateOf(t, m, d, gt); !(rate < voteRate) {
+			t.Errorf("%s rate %v should beat voting %v with skewed sources", m.Name(), rate, voteRate)
+		}
+	}
+}
+
+func TestMethodsHandleSingleSource(t *testing.T) {
+	b := data.NewBuilder()
+	b.ObserveFloat("only", "o", "x", 3)
+	b.ObserveCat("only", "o", "c", "v")
+	d := b.Build()
+	for _, m := range All() {
+		truths, rel := m.Resolve(d)
+		if truths == nil {
+			t.Fatalf("%s returned nil truths", m.Name())
+		}
+		for _, r := range rel {
+			if math.IsNaN(r) {
+				t.Errorf("%s produced NaN reliability", m.Name())
+			}
+		}
+	}
+}
+
+func TestMethodsHandleEmptyDataset(t *testing.T) {
+	d := data.NewBuilder().Build()
+	for _, m := range All() {
+		truths, _ := m.Resolve(d)
+		if truths == nil || truths.Count() != 0 {
+			t.Errorf("%s on empty dataset misbehaved", m.Name())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d, _, _ := plantedMixed(25)
+	for _, m := range All() {
+		t1, r1 := m.Resolve(d)
+		t2, r2 := m.Resolve(d)
+		for e := 0; e < t1.Len(); e++ {
+			v1, ok1 := t1.Get(e)
+			v2, ok2 := t2.Get(e)
+			if ok1 != ok2 || v1 != v2 {
+				t.Fatalf("%s truths not deterministic at entry %d", m.Name(), e)
+			}
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("%s reliability not deterministic", m.Name())
+			}
+		}
+	}
+}
+
+func TestClaimGraph(t *testing.T) {
+	d := microDataset(t)
+	g := buildClaims(d)
+	if len(g.entries) != 4 {
+		t.Fatalf("claim graph has %d entries, want 4", len(g.entries))
+	}
+	// o1 temp has 3 distinct values, o2 cond has 1 (all agree on z).
+	var o1temp, o2cond *entryClaims
+	for i := range g.entries {
+		switch g.entries[i].e {
+		case d.Entry(0, 0):
+			o1temp = &g.entries[i]
+		case d.Entry(1, 1):
+			o2cond = &g.entries[i]
+		}
+	}
+	if o1temp == nil || len(o1temp.vals) != 3 {
+		t.Fatal("o1 temp should have 3 candidate facts")
+	}
+	if o2cond == nil || len(o2cond.vals) != 1 || len(o2cond.claimants[0]) != 3 {
+		t.Fatal("o2 cond should have 1 fact claimed by 3 sources")
+	}
+	for k := 0; k < 3; k++ {
+		if g.claimCount[k] != 4 {
+			t.Fatalf("source %d claim count = %d, want 4", k, g.claimCount[k])
+		}
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	d := microDataset(t)
+	g := buildClaims(d)
+	var o1temp, o1cond int = -1, -1
+	for i := range g.entries {
+		switch g.entries[i].e {
+		case d.Entry(0, 0):
+			o1temp = i
+		case d.Entry(0, 1):
+			o1cond = i
+		}
+	}
+	// Continuous: closer values are more similar.
+	s12 := g.similarity(o1temp, 0, 1) // 10 vs 20
+	s13 := g.similarity(o1temp, 0, 2) // 10 vs 90
+	if !(s12 > s13) {
+		t.Fatalf("sim(10,20)=%v should exceed sim(10,90)=%v", s12, s13)
+	}
+	if self := g.similarity(o1temp, 1, 1); math.Abs(self-1) > 1e-12 {
+		t.Fatalf("self-similarity = %v", self)
+	}
+	// Categorical: distinct values have similarity 0.
+	if got := g.similarity(o1cond, 0, 1); got != 0 {
+		t.Fatalf("categorical sim = %v, want 0", got)
+	}
+}
+
+func TestAllRegistry(t *testing.T) {
+	ms := All()
+	if len(ms) != 10 {
+		t.Fatalf("All() has %d methods, want 10", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if m.Name() == "" {
+			t.Fatal("unnamed method")
+		}
+		if seen[m.Name()] {
+			t.Fatalf("duplicate method name %s", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}

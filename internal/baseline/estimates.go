@@ -1,0 +1,230 @@
+package baseline
+
+import (
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// TwoEstimates is Galland, Abiteboul, Marian & Senellart's 2-Estimates
+// ("Corroborating information from disagreeing views", WSDM 2010). It
+// assumes "one and only one true value per entry": a source claiming value
+// v implicitly votes *against* every other candidate value of the same
+// entry. Two mutually recursive estimates — per-fact truthfulness T(f) and
+// per-source error ε(s) — are averaged over positive and negative votes:
+//
+//	T(f) = avg over voters:  claimant → 1 − ε(s);  denier → ε(s)
+//	ε(s) = avg over votes:   claimed  → 1 − T(f);  denied → T(f)
+//
+// followed by the authors' λ-normalization: each estimate vector is
+// affinely rescaled onto [0, 1] every round, which they show is required
+// for convergence away from degenerate fixed points.
+type TwoEstimates struct {
+	// Iters bounds the rounds (default 20); Tol stops early when source
+	// errors stabilize (default 1e-6).
+	Iters int
+	Tol   float64
+}
+
+// Name implements Method.
+func (TwoEstimates) Name() string { return "2-Estimates" }
+
+// Resolve implements Method. The reliability score is 1 − ε(s).
+func (v TwoEstimates) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	return estimates(d, v.Iters, v.Tol, false)
+}
+
+// ThreeEstimates extends 2-Estimates with a per-fact difficulty estimate
+// δ(f) ∈ [0, 1] ("how hard is it to get this entry right"): a vote's
+// strength is attenuated by the fact's difficulty, so sources are not
+// punished for erring on hard facts:
+//
+//	T(f) = avg: claimant → 1 − ε(s)·δ(f);  denier → ε(s)·δ(f)
+//	ε(s) = avg over votes: claimed → (1 − T(f))/δ(f);  denied → T(f)/δ(f)
+//	δ(f) = avg over voters: claimant → (1 − T(f))/ε(s);  denier → T(f)/ε(s)
+//
+// with all three estimate vectors λ-normalized onto [0, 1] each round and
+// denominators floored to keep the updates finite.
+type ThreeEstimates struct {
+	// Iters bounds the rounds (default 20); Tol stops early (default
+	// 1e-6).
+	Iters int
+	Tol   float64
+}
+
+// Name implements Method.
+func (ThreeEstimates) Name() string { return "3-Estimates" }
+
+// Resolve implements Method. The reliability score is 1 − ε(s).
+func (v ThreeEstimates) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	return estimates(d, v.Iters, v.Tol, true)
+}
+
+func estimates(d *data.Dataset, iters int, tol float64, difficulty bool) (*data.Table, []float64) {
+	g := buildClaims(d)
+	if iters == 0 {
+		iters = 20
+	}
+	if tol == 0 {
+		tol = 1e-6
+	}
+	const floor = 0.05 // keeps /ε and /δ finite without dominating
+
+	K := d.NumSources()
+	errs := make([]float64, K) // ε(s)
+	for k := range errs {
+		errs[k] = 0.2
+	}
+	truth := g.newScores() // T(f)
+	diff := g.newScores()  // δ(f)
+	for i := range truth {
+		for j := range truth[i] {
+			truth[i][j] = 0.5
+			diff[i][j] = 0.5
+		}
+	}
+	prev := make([]float64, K)
+
+	for it := 0; it < iters; it++ {
+		// T(f): every source observing the entry votes on every
+		// candidate — positively on its claim, negatively on the rest.
+		for i, ec := range g.entries {
+			var voters int
+			for _, srcs := range ec.claimants {
+				voters += len(srcs)
+			}
+			for j := range ec.claimants {
+				var sum float64
+				for j2, srcs := range ec.claimants {
+					for _, k := range srcs {
+						e := errs[k]
+						if difficulty {
+							e *= diff[i][j]
+						}
+						if j2 == j {
+							sum += 1 - e
+						} else {
+							sum += e
+						}
+					}
+				}
+				truth[i][j] = sum / float64(voters)
+			}
+		}
+		normalizeScores(truth)
+
+		// ε(s): averaged over all the source's positive and negative
+		// votes.
+		copy(prev, errs)
+		sumE := make([]float64, K)
+		cntE := make([]float64, K)
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				for _, k := range srcs {
+					// Positive vote on j, negative on every other
+					// candidate of this entry.
+					for j2 := range ec.claimants {
+						denom := 1.0
+						if difficulty {
+							denom = diff[i][j2]
+							if denom < floor {
+								denom = floor
+							}
+						}
+						if j2 == j {
+							sumE[k] += (1 - truth[i][j2]) / denom
+						} else {
+							sumE[k] += truth[i][j2] / denom
+						}
+						cntE[k]++
+					}
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			if cntE[k] > 0 {
+				errs[k] = sumE[k] / cntE[k]
+			}
+		}
+		normalizeVec(errs)
+
+		if difficulty {
+			// δ(f): averaged over the entry's voters.
+			for i, ec := range g.entries {
+				for j := range ec.claimants {
+					var sum, cnt float64
+					for j2, srcs := range ec.claimants {
+						for _, k := range srcs {
+							e := errs[k]
+							if e < floor {
+								e = floor
+							}
+							if j2 == j {
+								sum += (1 - truth[i][j]) / e
+							} else {
+								sum += truth[i][j] / e
+							}
+							cnt++
+						}
+					}
+					if cnt > 0 {
+						diff[i][j] = sum / cnt
+					}
+				}
+			}
+			normalizeScores(diff)
+		}
+
+		if maxAbsDelta(errs, prev) < tol {
+			break
+		}
+	}
+
+	rel := make([]float64, K)
+	for k := range rel {
+		rel[k] = 1 - errs[k]
+	}
+	return g.truthsFromScores(truth), rel
+}
+
+// normalizeVec rescales a vector affinely onto [0, 1] (λ-normalization).
+// Constant vectors are left unchanged — rescaling them would fabricate
+// differences.
+func normalizeVec(xs []float64) {
+	min, max := stats.MinMax(xs)
+	if max <= min {
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - min) / (max - min)
+	}
+}
+
+// normalizeScores λ-normalizes a jagged score matrix globally, preserving
+// cross-entry comparability.
+func normalizeScores(m [][]float64) {
+	first := true
+	var min, max float64
+	for i := range m {
+		for _, x := range m[i] {
+			if first {
+				min, max = x, x
+				first = false
+				continue
+			}
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+	}
+	if first || max <= min {
+		return
+	}
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = (m[i][j] - min) / (max - min)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// Mean is the traditional conflict-resolution approach for continuous data:
+// the truth of an entry is the unweighted mean of its observations.
+// Categorical entries are ignored ("methods applied on continuous data
+// only" in Section 3.1.2) and no source reliability is estimated.
+type Mean struct{}
+
+// Name implements Method.
+func (Mean) Name() string { return "Mean" }
+
+// Resolve implements Method.
+func (Mean) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	return continuousAggregate(d, stats.Mean), nil
+}
+
+// Median aggregates continuous entries by their unweighted median; like
+// Mean, it ignores categorical data and estimates no reliability.
+type Median struct{}
+
+// Name implements Method.
+func (Median) Name() string { return "Median" }
+
+// Resolve implements Method.
+func (Median) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	return continuousAggregate(d, stats.Median), nil
+}
+
+func continuousAggregate(d *data.Dataset, agg func([]float64) float64) *data.Table {
+	t := data.NewTableFor(d)
+	var vals []float64
+	for e := 0; e < d.NumEntries(); e++ {
+		if d.Prop(d.EntryProp(e)).Type != data.Continuous {
+			continue
+		}
+		vals = vals[:0]
+		d.ForEntry(e, func(_ int, v data.Value) { vals = append(vals, v.F) })
+		if len(vals) == 0 {
+			continue
+		}
+		t.Set(e, data.Float(agg(vals)))
+	}
+	return t
+}
+
+// Voting is majority voting on categorical entries: the value with the
+// highest number of occurrences wins (ties break toward the lowest
+// category index for determinism). Continuous entries are ignored and all
+// sources are implicitly treated as equally reliable.
+type Voting struct{}
+
+// Name implements Method.
+func (Voting) Name() string { return "Voting" }
+
+// Resolve implements Method.
+func (Voting) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	t := data.NewTableFor(d)
+	var votes []float64
+	for e := 0; e < d.NumEntries(); e++ {
+		p := d.Prop(d.EntryProp(e))
+		if p.Type != data.Categorical {
+			continue
+		}
+		if cap(votes) < p.NumCats() {
+			votes = make([]float64, p.NumCats())
+		}
+		votes = votes[:p.NumCats()]
+		for i := range votes {
+			votes[i] = 0
+		}
+		n := 0
+		d.ForEntry(e, func(_ int, v data.Value) {
+			votes[v.C]++
+			n++
+		})
+		if n == 0 {
+			continue
+		}
+		t.Set(e, data.Cat(stats.ArgMax(votes)))
+	}
+	return t, nil
+}

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// TruthFinder is Yin, Han & Yu's algorithm ("Truth discovery with multiple
+// conflicting information providers on the web", KDD 2007). Source
+// trustworthiness t(s) and fact confidence s(f) are computed by Bayesian-
+// style iteration:
+//
+//	τ(s)  = −ln(1 − t(s))                        (trustworthiness score)
+//	σ(f)  = Σ_{s claims f} τ(s)                  (raw confidence score)
+//	σ*(f) = σ(f) + ρ · Σ_{f'≠f} σ(f')·imp(f'→f)  (implication adjustment)
+//	s(f)  = 1 / (1 + e^{−γ·σ*(f)})               (dampened confidence)
+//	t(s)  = avg_{f ∈ claims(s)} s(f)
+//
+// where imp(f'→f) = sim(f', f) − Base captures how much claiming f'
+// implies f is (in)correct: similar continuous claims support each other,
+// while conflicting claims drag each other down. Defaults follow the
+// paper: ρ = 0.5, γ = 0.3, Base = 0.5, initial trust 0.9.
+type TruthFinder struct {
+	// Rho weights the implication adjustment (default 0.5).
+	Rho float64
+	// Gamma is the logistic dampening factor (default 0.3).
+	Gamma float64
+	// Base is subtracted from similarities to form implications
+	// (default 0.5), making dissimilar claims count against each other.
+	Base float64
+	// InitTrust is the initial source trustworthiness (default 0.9).
+	InitTrust float64
+	// Iters bounds the rounds (default 20); Tol stops early when trust
+	// stabilizes (default 1e-6).
+	Iters int
+	Tol   float64
+}
+
+// Name implements Method.
+func (TruthFinder) Name() string { return "TruthFinder" }
+
+// Resolve implements Method. Reliability scores are the trustworthiness
+// values t(s) ∈ (0, 1).
+func (v TruthFinder) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	rho, gamma, base := v.Rho, v.Gamma, v.Base
+	if rho == 0 {
+		rho = 0.5
+	}
+	if gamma == 0 {
+		gamma = 0.3
+	}
+	if base == 0 {
+		base = 0.5
+	}
+	init := v.InitTrust
+	if init == 0 {
+		init = 0.9
+	}
+	iters := v.Iters
+	if iters == 0 {
+		iters = 20
+	}
+	tol := v.Tol
+	if tol == 0 {
+		tol = 1e-6
+	}
+
+	g := buildClaims(d)
+	K := d.NumSources()
+	trust := make([]float64, K)
+	for k := range trust {
+		trust[k] = init
+	}
+	conf := g.newScores()
+	raw := g.newScores()
+	prev := make([]float64, K)
+
+	for it := 0; it < iters; it++ {
+		// Raw confidence from trustworthiness scores.
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				var sigma float64
+				for _, k := range srcs {
+					t := trust[k]
+					if t > 0.999999 {
+						t = 0.999999
+					}
+					if t < 0 {
+						t = 0
+					}
+					sigma += -math.Log(1 - t)
+				}
+				raw[i][j] = sigma
+			}
+		}
+		// Implication adjustment between co-candidates, then logistic
+		// dampening.
+		for i, ec := range g.entries {
+			for j := range ec.claimants {
+				adj := raw[i][j]
+				for j2 := range ec.claimants {
+					if j2 == j {
+						continue
+					}
+					adj += rho * raw[i][j2] * (g.similarity(i, j2, j) - base)
+				}
+				conf[i][j] = 1 / (1 + math.Exp(-gamma*adj))
+			}
+		}
+		// Trustworthiness update.
+		copy(prev, trust)
+		sum := make([]float64, K)
+		cnt := make([]float64, K)
+		for i, ec := range g.entries {
+			for j, srcs := range ec.claimants {
+				for _, k := range srcs {
+					sum[k] += conf[i][j]
+					cnt[k]++
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			if cnt[k] > 0 {
+				trust[k] = sum[k] / cnt[k]
+			}
+		}
+		if maxAbsDelta(trust, prev) < tol {
+			break
+		}
+	}
+	return g.truthsFromScores(conf), trust
+}

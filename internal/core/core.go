@@ -1,0 +1,717 @@
+// Package core implements the CRH (Conflict Resolution on Heterogeneous
+// data) framework — Algorithm 1 of the paper. Given a multi-source dataset
+// with mixed continuous/categorical properties and missing values, it
+// jointly estimates a truth table and per-source reliability weights by
+// block coordinate descent on
+//
+//	min_{X*,W}  Σ_k w_k Σ_i Σ_m d_m(v*_im, v^k_im)   s.t. δ(W) = 1,
+//
+// alternating a source-weight update (Step I, solved by a reg.Scheme) with
+// a per-entry truth update (Step II, solved by the loss functions' argmin
+// rules) until the objective stabilizes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/loss"
+	"github.com/crhkit/crh/internal/reg"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// Config controls a CRH run. The zero value selects the paper's defaults:
+// weighted-median truths for continuous properties (normalized absolute
+// loss), weighted voting for categorical properties (0-1 loss), and the
+// max-normalized negative-log weight assignment.
+type Config struct {
+	// ContinuousLoss aggregates and penalizes continuous observations.
+	// Defaults to loss.NormalizedAbsolute (weighted median).
+	ContinuousLoss loss.Continuous
+	// CategoricalLoss aggregates and penalizes categorical observations.
+	// Defaults to loss.ZeroOne (weighted voting).
+	CategoricalLoss loss.Categorical
+	// Scheme assigns source weights from aggregated losses. Defaults to
+	// reg.ExpMax.
+	Scheme reg.Scheme
+
+	// MaxIters bounds the number of weight/truth iterations. Defaults
+	// to 20; the paper observes convergence within a few iterations.
+	MaxIters int
+	// Parallelism is the number of worker goroutines used for the truth
+	// and loss computations, which are embarrassingly parallel across
+	// entries. 0 selects GOMAXPROCS; 1 forces sequential execution.
+	// Results are deterministic for a fixed Parallelism; across
+	// different settings continuous truths may differ by float rounding
+	// (summation order).
+	Parallelism int
+	// Tol is the relative objective-decrease threshold for convergence.
+	// Defaults to 1e-6.
+	Tol float64
+
+	// NormalizeProps rescales each property's per-source average
+	// deviations by the property's maximum so heterogeneous loss scales
+	// contribute comparably to the weights (Section 2.5,
+	// "Normalization"). Defaults to on; set DisablePropNormalization to
+	// turn it off.
+	DisablePropNormalization bool
+	// DisableCountNormalization stops dividing each source's loss by its
+	// observation count (Section 2.5, "Missing values"). Defaults to on.
+	DisableCountNormalization bool
+
+	// InitTruths seeds the truth table instead of the default
+	// uniform-weight aggregation (voting / median).
+	InitTruths *data.Table
+
+	// KnownTruths pins entries whose true value is already known
+	// (semi-supervised operation): pinned entries are never re-estimated
+	// but do contribute to source-weight estimation, so a little
+	// supervision sharpens every source's reliability.
+	KnownTruths *data.Table
+
+	// ComputeConfidence fills Result.Confidence with a per-entry score
+	// in [0, 1]: the weighted fraction of sources that support the
+	// chosen truth (categorical: sources voting for it; continuous:
+	// sources within one entry-spread of it). Off by default — it costs
+	// one extra pass over the observations.
+	ComputeConfidence bool
+
+	// PropertyGroups relaxes the source-weight consistency assumption
+	// (Section 2.5, "Source weight consistency"): instead of one weight
+	// per source, each source gets one weight per group of properties,
+	// capturing local reliability (a sensor accurate on temperature but
+	// not humidity). Each element lists the property indices of one
+	// group; every property must appear in exactly one group. Nil keeps
+	// the paper's default of a single global weight per source.
+	PropertyGroups [][]int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ContinuousLoss == nil {
+		out.ContinuousLoss = loss.NormalizedAbsolute{}
+	}
+	if out.CategoricalLoss == nil {
+		out.CategoricalLoss = loss.ZeroOne{}
+	}
+	if out.Scheme == nil {
+		out.Scheme = reg.ExpMax{}
+	}
+	if out.MaxIters == 0 {
+		out.MaxIters = 20
+	}
+	if out.Tol == 0 {
+		out.Tol = 1e-6
+	}
+	return out
+}
+
+// Result is the output of a CRH run.
+type Result struct {
+	// Truths holds the inferred value for every entry with at least one
+	// observation.
+	Truths *data.Table
+	// Weights holds one reliability weight per source (the first
+	// group's weights when PropertyGroups is set).
+	Weights []float64
+	// GroupWeights holds the per-group weights when Config.PropertyGroups
+	// is set: GroupWeights[g][k] is source k's reliability on group g.
+	// Nil for the default single-group configuration.
+	GroupWeights [][]float64
+	// Objective records the objective value after each iteration's truth
+	// update (index 0 is the initialization pass).
+	Objective []float64
+	// Iterations is the number of weight/truth iterations executed.
+	Iterations int
+	// Converged reports whether the tolerance was met before MaxIters.
+	Converged bool
+	// Confidence holds one score per entry when
+	// Config.ComputeConfidence is set (0 for unresolved entries):
+	// the weighted support for the chosen truth.
+	Confidence []float64
+}
+
+// ErrEmptyDataset is returned when the dataset has no sources or entries.
+var ErrEmptyDataset = errors.New("core: empty dataset")
+
+// validateGroups checks that PropertyGroups is a partition of the
+// property indices.
+func validateGroups(groups [][]int, numProps int) error {
+	seen := make([]bool, numProps)
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return fmt.Errorf("core: property group %d is empty", gi)
+		}
+		for _, m := range g {
+			if m < 0 || m >= numProps {
+				return fmt.Errorf("core: property group %d references property %d of %d", gi, m, numProps)
+			}
+			if seen[m] {
+				return fmt.Errorf("core: property %d appears in multiple groups", m)
+			}
+			seen[m] = true
+		}
+	}
+	for m, ok := range seen {
+		if !ok {
+			return fmt.Errorf("core: property %d missing from PropertyGroups", m)
+		}
+	}
+	return nil
+}
+
+// Run executes CRH on d. It is deterministic for a given dataset and
+// configuration.
+func Run(d *data.Dataset, cfg Config) (*Result, error) {
+	if d.NumSources() == 0 || d.NumEntries() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg = cfg.withDefaults()
+	if cfg.PropertyGroups != nil {
+		if err := validateGroups(cfg.PropertyGroups, d.NumProps()); err != nil {
+			return nil, err
+		}
+	}
+	s := newSolver(d, cfg)
+
+	// Initialization: either the caller's truths or one truth update
+	// under uniform weights — the Voting/Averaging start the paper
+	// recommends (Section 2.5, "Initialization").
+	if cfg.InitTruths != nil {
+		s.truths = cfg.InitTruths.Clone()
+		s.pinKnown()
+	} else {
+		s.setUniformWeights()
+		s.updateTruths()
+	}
+
+	res := &Result{}
+	prevObj := math.Inf(1)
+	for it := 0; it < cfg.MaxIters; it++ {
+		s.updateWeights()
+		s.updateTruths()
+		obj := s.objective()
+		res.Objective = append(res.Objective, obj)
+		res.Iterations = it + 1
+		if prevObj != math.Inf(1) {
+			denom := math.Abs(prevObj)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			if (prevObj-obj)/denom < cfg.Tol {
+				res.Converged = true
+				break
+			}
+		}
+		prevObj = obj
+	}
+	res.Truths = s.truths
+	res.Weights = s.weights[0]
+	if cfg.PropertyGroups != nil {
+		res.GroupWeights = s.weights
+	}
+	if cfg.ComputeConfidence {
+		res.Confidence = s.confidence()
+	}
+	return res, nil
+}
+
+// solver carries the mutable state of one run.
+type solver struct {
+	d       *data.Dataset
+	cfg     Config
+	workers int
+
+	truths *data.Table
+	// weights[g][k] is source k's weight for property group g; the
+	// default configuration has a single group.
+	weights [][]float64
+	// groupOf[m] is property m's group index.
+	groupOf []int
+	// dists caches the per-entry category distribution for probabilistic
+	// categorical losses (nil entries for hard losses / continuous).
+	dists [][]float64
+	// entryStd caches the spread of each continuous entry's observations
+	// for loss normalization.
+	entryStd []float64
+
+	// scratch buffers for the sequential path, reused across entries.
+	vals, ws []float64
+	cats     []int
+	srcs     []int
+}
+
+// scratch holds one worker's reusable per-entry buffers.
+type scratch struct {
+	vals, ws []float64
+	cats     []int
+}
+
+// forEntriesParallel partitions the entry range across the solver's
+// workers and runs fn on each partition with its own scratch and worker
+// index. With one worker it runs inline. Partitions are contiguous and
+// fixed for a given Parallelism, so per-worker results can be merged in
+// worker order to keep floating-point summation deterministic.
+func (s *solver) forEntriesParallel(fn func(sc *scratch, worker, lo, hi int)) {
+	n := s.d.NumEntries()
+	w := s.numWorkers()
+	if w <= 1 {
+		fn(&scratch{}, 0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			fn(&scratch{}, i, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+}
+
+// numWorkers returns the effective worker count for this dataset.
+func (s *solver) numWorkers() int {
+	w := s.workers
+	if n := s.d.NumEntries(); w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// gatherInto collects entry e's observations into sc, returning the
+// number of observers.
+func (s *solver) gatherInto(sc *scratch, e int, categorical bool) int {
+	sc.vals, sc.ws, sc.cats = sc.vals[:0], sc.ws[:0], sc.cats[:0]
+	gw := s.weights[s.groupOf[s.d.EntryProp(e)]]
+	s.d.ForEntry(e, func(k int, v data.Value) {
+		if categorical {
+			sc.cats = append(sc.cats, int(v.C))
+		} else {
+			sc.vals = append(sc.vals, v.F)
+		}
+		sc.ws = append(sc.ws, gw[k])
+	})
+	return len(sc.ws)
+}
+
+func newSolver(d *data.Dataset, cfg Config) *solver {
+	s := &solver{
+		d:        d,
+		cfg:      cfg,
+		workers:  cfg.Parallelism,
+		truths:   data.NewTableFor(d),
+		groupOf:  make([]int, d.NumProps()),
+		dists:    make([][]float64, d.NumEntries()),
+		entryStd: make([]float64, d.NumEntries()),
+	}
+	if s.workers == 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	nGroups := 1
+	if cfg.PropertyGroups != nil {
+		nGroups = len(cfg.PropertyGroups)
+		for gi, g := range cfg.PropertyGroups {
+			for _, m := range g {
+				s.groupOf[m] = gi
+			}
+		}
+	}
+	s.weights = make([][]float64, nGroups)
+	for g := range s.weights {
+		s.weights[g] = make([]float64, d.NumSources())
+	}
+	// Precompute per-entry standard deviations for continuous entries
+	// (Eq 13/15 normalize by the spread of the entry's observations).
+	for e := 0; e < d.NumEntries(); e++ {
+		if d.Prop(d.EntryProp(e)).Type != data.Continuous {
+			continue
+		}
+		s.vals = s.vals[:0]
+		d.ForEntry(e, func(_ int, v data.Value) {
+			s.vals = append(s.vals, v.F)
+		})
+		s.entryStd[e] = stats.Std(s.vals)
+	}
+	return s
+}
+
+// setUniformWeights resets every (group, source) weight to 1.
+func (s *solver) setUniformWeights() {
+	for g := range s.weights {
+		for k := range s.weights[g] {
+			s.weights[g][k] = 1
+		}
+	}
+}
+
+// pinKnown overwrites entries whose truths are supplied (semi-supervised
+// operation). Pinned entries still contribute to source losses.
+func (s *solver) pinKnown() {
+	if s.cfg.KnownTruths == nil {
+		return
+	}
+	s.cfg.KnownTruths.ForEach(func(e int, v data.Value) {
+		s.truths.Set(e, v)
+		// Hard truths have no soft distribution; probabilistic losses
+		// degrade to 0-1 behaviour on pinned entries.
+		s.dists[e] = nil
+	})
+}
+
+// gather collects entry e's observations into the scratch buffers.
+// Returns the number of observers.
+func (s *solver) gather(e int, categorical bool) int {
+	s.vals, s.ws, s.cats, s.srcs = s.vals[:0], s.ws[:0], s.cats[:0], s.srcs[:0]
+	gw := s.weights[s.groupOf[s.d.EntryProp(e)]]
+	s.d.ForEntry(e, func(k int, v data.Value) {
+		if categorical {
+			s.cats = append(s.cats, int(v.C))
+		} else {
+			s.vals = append(s.vals, v.F)
+		}
+		s.ws = append(s.ws, gw[k])
+		s.srcs = append(s.srcs, k)
+	})
+	return len(s.ws)
+}
+
+// updateTruths performs Step II: per-entry argmin under current weights,
+// parallelized across entries (each entry's truth is independent).
+// Entries pinned by KnownTruths are left untouched.
+func (s *solver) updateTruths() {
+	d := s.d
+	s.forEntriesParallel(func(sc *scratch, _, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			if s.cfg.KnownTruths != nil && s.cfg.KnownTruths.Has(e) {
+				v, _ := s.cfg.KnownTruths.Get(e)
+				s.truths.Set(e, v)
+				s.dists[e] = nil
+				continue
+			}
+			p := d.Prop(d.EntryProp(e))
+			if p.Type == data.Categorical {
+				if s.gatherInto(sc, e, true) == 0 {
+					continue
+				}
+				t, dist := s.cfg.CategoricalLoss.Truth(sc.cats, sc.ws, p)
+				s.truths.Set(e, data.Cat(t))
+				s.dists[e] = dist
+			} else {
+				if s.gatherInto(sc, e, false) == 0 {
+					continue
+				}
+				s.truths.Set(e, data.Float(s.cfg.ContinuousLoss.Truth(sc.vals, sc.ws)))
+			}
+		}
+	})
+}
+
+// sourceLosses computes the per-group per-source losses feeding Step I:
+// each source's deviation from the current truths, averaged per
+// observation within each property (unless disabled), rescaled per
+// property so different loss scales are comparable (unless disabled),
+// then averaged across the properties the source observed within each
+// group. The second result is each source's observation count per group,
+// consumed by count-aware weight schemes (reg.CountScheme).
+func (s *solver) sourceLosses() ([][]float64, [][]int) {
+	d := s.d
+	K, M := d.NumSources(), d.NumProps()
+	sum := make([][]float64, K) // [k][m] total deviation
+	cnt := make([][]int, K)     // [k][m] observation count
+	for k := 0; k < K; k++ {
+		sum[k] = make([]float64, M)
+		cnt[k] = make([]int, M)
+	}
+	// Per-worker partial matrices, merged in worker order after the
+	// barrier so summation order (and thus the result) is deterministic
+	// for a fixed Parallelism.
+	nw := s.numWorkers()
+	partSum := make([][][]float64, nw)
+	partCnt := make([][][]int, nw)
+	s.forEntriesParallel(func(_ *scratch, worker, lo, hi int) {
+		lsum := make([][]float64, K)
+		lcnt := make([][]int, K)
+		for k := 0; k < K; k++ {
+			lsum[k] = make([]float64, M)
+			lcnt[k] = make([]int, M)
+		}
+		for e := lo; e < hi; e++ {
+			truth, ok := s.truths.Get(e)
+			if !ok {
+				continue
+			}
+			m := d.EntryProp(e)
+			p := d.Prop(m)
+			if p.Type == data.Categorical {
+				dist := s.dists[e]
+				d.ForEntry(e, func(k int, v data.Value) {
+					lsum[k][m] += s.cfg.CategoricalLoss.Deviation(int(truth.C), dist, int(v.C), p)
+					lcnt[k][m]++
+				})
+			} else {
+				std := s.entryStd[e]
+				d.ForEntry(e, func(k int, v data.Value) {
+					lsum[k][m] += s.cfg.ContinuousLoss.Deviation(truth.F, v.F, std)
+					lcnt[k][m]++
+				})
+			}
+		}
+		partSum[worker] = lsum
+		partCnt[worker] = lcnt
+	})
+	for w := 0; w < nw; w++ {
+		if partSum[w] == nil {
+			continue
+		}
+		for k := 0; k < K; k++ {
+			for m := 0; m < M; m++ {
+				sum[k][m] += partSum[w][k][m]
+				cnt[k][m] += partCnt[w][k][m]
+			}
+		}
+	}
+
+	groups := s.cfg.PropertyGroups
+	if groups == nil {
+		counts := [][]int{make([]int, K)}
+		for k := 0; k < K; k++ {
+			for m := 0; m < M; m++ {
+				counts[0][k] += cnt[k][m]
+			}
+		}
+		return [][]float64{CombineLossMatrix(sum, cnt, s.cfg)}, counts
+	}
+	// Per group: combine only the group's property columns.
+	losses := make([][]float64, len(groups))
+	counts := make([][]int, len(groups))
+	for gi, g := range groups {
+		gsum := make([][]float64, K)
+		gcnt := make([][]int, K)
+		counts[gi] = make([]int, K)
+		for k := 0; k < K; k++ {
+			gsum[k] = make([]float64, len(g))
+			gcnt[k] = make([]int, len(g))
+			for j, m := range g {
+				gsum[k][j] = sum[k][m]
+				gcnt[k][j] = cnt[k][m]
+				counts[gi][k] += cnt[k][m]
+			}
+		}
+		losses[gi] = CombineLossMatrix(gsum, gcnt, s.cfg)
+	}
+	return losses, counts
+}
+
+// updateWeights performs Step I under the configured scheme, once per
+// property group. Count-aware schemes additionally receive each source's
+// per-group observation count.
+func (s *solver) updateWeights() {
+	losses, counts := s.sourceLosses()
+	cs, countAware := s.cfg.Scheme.(reg.CountScheme)
+	for g, l := range losses {
+		if countAware {
+			s.weights[g] = cs.WeightsWithCounts(l, counts[g])
+		} else {
+			s.weights[g] = s.cfg.Scheme.Weights(l)
+		}
+	}
+}
+
+// objective evaluates Σ_g Σ_k w_gk · L_gk with the solver's normalized
+// per-source losses — the quantity whose stabilization we use as the
+// convergence criterion.
+func (s *solver) objective() float64 {
+	losses, _ := s.sourceLosses()
+	var f float64
+	for g, gl := range losses {
+		for k, l := range gl {
+			f += s.weights[g][k] * l
+		}
+	}
+	return f
+}
+
+// confidence computes each resolved entry's weighted support: the share
+// of the observers' total weight backing the chosen truth (categorical:
+// exact agreement; continuous: within one entry-spread). A unanimous
+// entry scores 1; an entry carried by a narrow weighted majority scores
+// near the majority's share.
+func (s *solver) confidence() []float64 {
+	d := s.d
+	conf := make([]float64, d.NumEntries())
+	s.forEntriesParallel(func(_ *scratch, _, lo, hi int) {
+		for e := lo; e < hi; e++ {
+			truth, ok := s.truths.Get(e)
+			if !ok {
+				continue
+			}
+			m := d.EntryProp(e)
+			p := d.Prop(m)
+			gw := s.weights[s.groupOf[m]]
+			var support, total float64
+			if p.Type == data.Categorical {
+				d.ForEntry(e, func(k int, v data.Value) {
+					total += gw[k]
+					if v.C == truth.C {
+						support += gw[k]
+					}
+				})
+			} else {
+				std := stdGuardLocal(s.entryStd[e])
+				d.ForEntry(e, func(k int, v data.Value) {
+					total += gw[k]
+					if math.Abs(v.F-truth.F) <= std {
+						support += gw[k]
+					}
+				})
+			}
+			if total > 0 {
+				conf[e] = support / total
+			} else if d.EntryObservers(e) > 0 {
+				// All observers carry zero weight: fall back to the
+				// unweighted share.
+				var n, agree float64
+				d.ForEntry(e, func(_ int, v data.Value) {
+					n++
+					if p.Type == data.Categorical {
+						if v.C == truth.C {
+							agree++
+						}
+					} else if math.Abs(v.F-truth.F) <= stdGuardLocal(s.entryStd[e]) {
+						agree++
+					}
+				})
+				conf[e] = agree / n
+			}
+		}
+	})
+	return conf
+}
+
+// stdGuardLocal floors a spread for the confidence band, mirroring the
+// loss package's normalizer guard.
+func stdGuardLocal(std float64) float64 {
+	if std < 1e-12 {
+		return 1e-12
+	}
+	return std
+}
+
+// AggregateTruths performs a single truth-update pass (Step II) under the
+// given fixed source weights and returns the resulting truth table. This is
+// the building block the incremental (I-CRH) and MapReduce variants reuse:
+// both compute truths for a batch from externally maintained weights.
+func AggregateTruths(d *data.Dataset, weights []float64, cfg Config) *data.Table {
+	cfg = cfg.withDefaults()
+	cfg.PropertyGroups = nil // single-group helper
+	s := newSolver(d, cfg)
+	copy(s.weights[0], weights)
+	s.updateTruths()
+	return s.truths
+}
+
+// SourceLosses computes each source's aggregated, normalized loss against
+// the given truths — the quantity Step I feeds to the weight-assignment
+// scheme. Exported for the incremental and MapReduce variants, which
+// accumulate these losses across chunks instead of iterating in place.
+//
+// For probabilistic categorical losses the per-entry distributions are
+// recomputed from the supplied weights before deviations are taken.
+func SourceLosses(d *data.Dataset, truths *data.Table, weights []float64, cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	cfg.PropertyGroups = nil // single-group helper
+	s := newSolver(d, cfg)
+	copy(s.weights[0], weights)
+	s.truths = truths
+	// Rebuild distributions for probabilistic categorical losses so
+	// Deviation sees them; hard losses return nil distributions.
+	for e := 0; e < d.NumEntries(); e++ {
+		p := d.Prop(d.EntryProp(e))
+		if p.Type != data.Categorical || !truths.Has(e) {
+			continue
+		}
+		if s.gather(e, true) == 0 {
+			continue
+		}
+		_, dist := s.cfg.CategoricalLoss.Truth(s.cats, s.ws, p)
+		s.dists[e] = dist
+	}
+	losses, _ := s.sourceLosses()
+	return losses[0]
+}
+
+// CombineLossMatrix collapses per-(source, property) deviation sums and
+// observation counts into the per-source losses Step I feeds to the
+// weight scheme, applying the same count and property normalizations the
+// in-process solver uses. Exported so the MapReduce driver — which
+// aggregates the sums with a distributed job — produces weights identical
+// to the serial solver's.
+func CombineLossMatrix(sum [][]float64, cnt [][]int, cfg Config) []float64 {
+	cfg = cfg.withDefaults()
+	K := len(sum)
+	if K == 0 {
+		return nil
+	}
+	M := len(sum[0])
+	avg := make([][]float64, K)
+	for k := 0; k < K; k++ {
+		avg[k] = make([]float64, M)
+		for m := 0; m < M; m++ {
+			if cnt[k][m] > 0 {
+				if cfg.DisableCountNormalization {
+					avg[k][m] = sum[k][m]
+				} else {
+					avg[k][m] = sum[k][m] / float64(cnt[k][m])
+				}
+			}
+		}
+	}
+	if !cfg.DisablePropNormalization {
+		for m := 0; m < M; m++ {
+			var max float64
+			for k := 0; k < K; k++ {
+				if avg[k][m] > max {
+					max = avg[k][m]
+				}
+			}
+			if max > 0 {
+				for k := 0; k < K; k++ {
+					avg[k][m] /= max
+				}
+			}
+		}
+	}
+	losses := make([]float64, K)
+	for k := 0; k < K; k++ {
+		var total float64
+		var nprops int
+		for m := 0; m < M; m++ {
+			if cnt[k][m] > 0 {
+				total += avg[k][m]
+				nprops++
+			}
+		}
+		if nprops > 0 && !cfg.DisableCountNormalization {
+			total /= float64(nprops)
+		}
+		losses[k] = total
+	}
+	return losses
+}

@@ -1,0 +1,282 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildSample constructs a small mixed-type dataset:
+// 2 sources, 2 objects, 2 properties (temp continuous, cond categorical),
+// with one missing observation.
+func buildSample(t *testing.T) *Dataset {
+	t.Helper()
+	b := NewBuilder()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.ObserveFloat("s1", "nyc", "temp", 80))
+	must(b.ObserveFloat("s2", "nyc", "temp", 82))
+	must(b.ObserveCat("s1", "nyc", "cond", "sunny"))
+	must(b.ObserveCat("s2", "nyc", "cond", "rain"))
+	must(b.ObserveFloat("s1", "sfo", "temp", 65))
+	must(b.ObserveCat("s1", "sfo", "cond", "fog"))
+	// s2 does not observe sfo at all: missing values.
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	d := buildSample(t)
+	if d.NumSources() != 2 || d.NumObjects() != 2 || d.NumProps() != 2 {
+		t.Fatalf("dims = %d sources, %d objects, %d props", d.NumSources(), d.NumObjects(), d.NumProps())
+	}
+	if d.NumEntries() != 4 {
+		t.Fatalf("NumEntries = %d, want 4", d.NumEntries())
+	}
+	if d.NumObservations() != 6 {
+		t.Fatalf("NumObservations = %d, want 6", d.NumObservations())
+	}
+	if d.ObservationCount(0) != 4 || d.ObservationCount(1) != 2 {
+		t.Fatalf("counts = %d,%d", d.ObservationCount(0), d.ObservationCount(1))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTypedAccess(t *testing.T) {
+	d := buildSample(t)
+	if d.Prop(0).Name != "temp" || d.Prop(0).Type != Continuous {
+		t.Fatalf("prop 0 = %+v", d.Prop(0))
+	}
+	if d.Prop(1).Name != "cond" || d.Prop(1).Type != Categorical {
+		t.Fatalf("prop 1 = %+v", d.Prop(1))
+	}
+	if !d.Has(0, 0, 0) || d.Get(0, 0, 0).F != 80 {
+		t.Error("s1 nyc temp should be 80")
+	}
+	if d.Has(1, 1, 0) {
+		t.Error("s2 sfo temp should be missing")
+	}
+	p := d.Prop(1)
+	if p.NumCats() != 3 {
+		t.Fatalf("cond cats = %d, want 3", p.NumCats())
+	}
+	id, ok := p.CatID("rain")
+	if !ok || p.CatName(id) != "rain" {
+		t.Error("categorical dictionary round-trip failed")
+	}
+	if _, ok := p.CatID("hail"); ok {
+		t.Error("unknown category should not resolve")
+	}
+}
+
+func TestPropertyTypeConflict(t *testing.T) {
+	b := NewBuilder()
+	if err := b.ObserveFloat("s", "o", "p", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ObserveCat("s", "o", "p", "x"); err == nil {
+		t.Fatal("expected type-conflict error")
+	}
+}
+
+func TestDuplicateObservationKeepsLast(t *testing.T) {
+	b := NewBuilder()
+	b.ObserveFloat("s", "o", "p", 1)
+	b.ObserveFloat("s", "o", "p", 2)
+	d := b.Build()
+	if d.NumObservations() != 1 {
+		t.Fatalf("NumObservations = %d, want 1 (dedup)", d.NumObservations())
+	}
+	if got := d.Get(0, 0, 0).F; got != 2 {
+		t.Fatalf("duplicate kept %v, want last value 2", got)
+	}
+}
+
+func TestForEntryAndObservers(t *testing.T) {
+	d := buildSample(t)
+	e := d.Entry(0, 0) // nyc temp
+	var seen []int
+	d.ForEntry(e, func(k int, v Value) { seen = append(seen, k) })
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+		t.Fatalf("ForEntry sources = %v", seen)
+	}
+	if d.EntryObservers(d.Entry(1, 0)) != 1 {
+		t.Error("sfo temp should have 1 observer")
+	}
+	if d.EntryObject(d.Entry(1, 1)) != 1 || d.EntryProp(d.Entry(1, 1)) != 1 {
+		t.Error("entry index round-trip failed")
+	}
+}
+
+func TestTimestampsAndSlice(t *testing.T) {
+	b := NewBuilder()
+	b.ObserveFloat("s1", "day1-obj", "x", 1)
+	b.ObserveFloat("s1", "day2-obj", "x", 2)
+	b.ObserveFloat("s2", "day2-obj", "x", 3)
+	b.SetTimestamp("day1-obj", 1)
+	b.SetTimestamp("day2-obj", 2)
+	d := b.Build()
+	if !d.HasTimestamps() {
+		t.Fatal("expected timestamps")
+	}
+	min, max := d.TimestampRange()
+	if min != 1 || max != 2 {
+		t.Fatalf("TimestampRange = %d,%d", min, max)
+	}
+	chunk := d.Slice(func(i int) bool { return d.Timestamp(i) == 2 })
+	if chunk.NumObjects() != 1 || chunk.ObjectName(0) != "day2-obj" {
+		t.Fatalf("slice objects = %d", chunk.NumObjects())
+	}
+	if chunk.NumObservations() != 2 {
+		t.Fatalf("slice observations = %d, want 2", chunk.NumObservations())
+	}
+	if chunk.ObservationCount(0) != 1 || chunk.ObservationCount(1) != 1 {
+		t.Fatal("slice per-source counts wrong")
+	}
+	if err := chunk.Validate(); err != nil {
+		t.Fatalf("slice Validate: %v", err)
+	}
+	if chunk.Timestamp(0) != 2 {
+		t.Fatal("slice lost timestamp")
+	}
+}
+
+func TestSliceEmpty(t *testing.T) {
+	d := buildSample(t)
+	empty := d.Slice(func(int) bool { return false })
+	if empty.NumObjects() != 0 || empty.NumObservations() != 0 {
+		t.Fatal("empty slice should have nothing")
+	}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("empty slice Validate: %v", err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable(2, 3)
+	if tb.Len() != 6 || tb.Count() != 0 {
+		t.Fatal("fresh table should be empty")
+	}
+	tb.SetAt(1, 2, Float(9))
+	if tb.Count() != 1 {
+		t.Fatal("Count after one Set")
+	}
+	v, ok := tb.GetAt(1, 2)
+	if !ok || v.F != 9 {
+		t.Fatal("GetAt round-trip failed")
+	}
+	if _, ok := tb.GetAt(0, 0); ok {
+		t.Fatal("unset entry should report absent")
+	}
+	cl := tb.Clone()
+	cl.SetAt(0, 0, Float(1))
+	if tb.Has(0) {
+		t.Fatal("Clone is not independent")
+	}
+	var visited int
+	tb.ForEach(func(e int, v Value) { visited++ })
+	if visited != 1 {
+		t.Fatalf("ForEach visited %d, want 1", visited)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Float(1.5).Equal(Float(1.5), Continuous) {
+		t.Error("equal floats")
+	}
+	if Float(1.5).Equal(Float(2), Continuous) {
+		t.Error("unequal floats")
+	}
+	if !Cat(3).Equal(Cat(3), Categorical) {
+		t.Error("equal cats")
+	}
+	if Cat(3).Equal(Cat(4), Categorical) {
+		t.Error("unequal cats")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.ObserveFloat("s1", "nyc", "temp", 80.5)
+	b.ObserveCat("s1", "nyc", "cond", "partly cloudy")
+	b.ObserveFloat("s2", "nyc", "temp", 79)
+	b.ObserveCat("s2", "nyc", "cond", "rain")
+	b.SetTimestamp("nyc", 17)
+	d := b.Build()
+	gt := NewTableFor(d)
+	gt.SetAt(0, b.MustProperty("temp", Continuous), Float(80))
+	gt.SetAt(0, b.MustProperty("cond", Categorical), Cat(b.CatValue(1, "rain")))
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, d, gt); err != nil {
+		t.Fatal(err)
+	}
+	d2, gt2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumSources() != 2 || d2.NumObjects() != 1 || d2.NumProps() != 2 {
+		t.Fatalf("decoded dims wrong: %d/%d/%d", d2.NumSources(), d2.NumObjects(), d2.NumProps())
+	}
+	if d2.NumObservations() != d.NumObservations() {
+		t.Fatal("observation count changed in round-trip")
+	}
+	if !d2.HasTimestamps() || d2.Timestamp(0) != 17 {
+		t.Fatal("timestamp lost in round-trip")
+	}
+	if got := d2.Get(0, 0, 0).F; got != 80.5 {
+		t.Fatalf("decoded s1 temp = %v", got)
+	}
+	p := d2.Prop(1)
+	id, _ := p.CatID("partly cloudy")
+	if got := int(d2.Get(0, 0, 1).C); got != id {
+		t.Fatal("decoded categorical value wrong")
+	}
+	if gt2 == nil || gt2.Count() != 2 {
+		t.Fatal("ground truth lost in round-trip")
+	}
+	v, _ := gt2.GetAt(0, 0)
+	if v.F != 80 {
+		t.Fatalf("decoded gt temp = %v", v.F)
+	}
+	if err := d2.Validate(); err != nil {
+		t.Fatalf("decoded Validate: %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"unknown record", "Z\tx\n"},
+		{"bad type", "P\tp\tweird\n"},
+		{"undeclared property", "V\to\tp\ts\t1\n"},
+		{"bad float", "P\tp\tcontinuous\nV\to\tp\ts\tabc\n"},
+		{"bad timestamp", "O\tobj\txyz\n"},
+		{"short V", "P\tp\tcontinuous\nV\to\tp\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := Decode(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDecodeIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# hello\n\nP\tp\tcontinuous\nV\to\tp\ts\t1.5\n"
+	d, gt, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt != nil {
+		t.Fatal("no truths expected")
+	}
+	if d.NumObservations() != 1 || d.Get(0, 0, 0).F != 1.5 {
+		t.Fatal("decode with comments failed")
+	}
+}

@@ -1,0 +1,213 @@
+package data
+
+import "fmt"
+
+// Dataset is an immutable multi-source observation matrix: K sources × N
+// objects × M typed properties, with missing values. Construct one with a
+// Builder; a built Dataset is safe for concurrent readers.
+//
+// Entries are addressed either by (object, property) index pairs or by a
+// flattened entry index e = object*M + property.
+type Dataset struct {
+	objects []string
+	props   []Property
+	sources []string
+
+	// obs[k] is a dense N*M slice of the kth source's observations;
+	// present[k][e] reports whether source k observed entry e.
+	obs     [][]Value
+	present [][]bool
+
+	// counts[k] is the number of entries source k observed.
+	counts []int
+
+	// timestamps[i] is an optional collection timestamp for object i,
+	// used to chunk the data for streaming (incremental CRH). Nil when
+	// the dataset carries no temporal information.
+	timestamps []int
+}
+
+// NumObjects returns N.
+func (d *Dataset) NumObjects() int { return len(d.objects) }
+
+// NumProps returns M.
+func (d *Dataset) NumProps() int { return len(d.props) }
+
+// NumSources returns K.
+func (d *Dataset) NumSources() int { return len(d.sources) }
+
+// NumEntries returns N*M, the number of addressable entries.
+func (d *Dataset) NumEntries() int { return len(d.objects) * len(d.props) }
+
+// NumObservations returns the total number of (source, entry) observations.
+func (d *Dataset) NumObservations() int {
+	var n int
+	for _, c := range d.counts {
+		n += c
+	}
+	return n
+}
+
+// ObjectName returns the name of object i.
+func (d *Dataset) ObjectName(i int) string { return d.objects[i] }
+
+// SourceName returns the name of source k.
+func (d *Dataset) SourceName(k int) string { return d.sources[k] }
+
+// Prop returns property m. The returned pointer must be treated as
+// read-only.
+func (d *Dataset) Prop(m int) *Property { return &d.props[m] }
+
+// Entry flattens an (object, property) pair into an entry index.
+func (d *Dataset) Entry(i, m int) int { return i*len(d.props) + m }
+
+// EntryObject returns the object index of entry e.
+func (d *Dataset) EntryObject(e int) int { return e / len(d.props) }
+
+// EntryProp returns the property index of entry e.
+func (d *Dataset) EntryProp(e int) int { return e % len(d.props) }
+
+// Has reports whether source k observed entry (i, m).
+func (d *Dataset) Has(k, i, m int) bool { return d.present[k][d.Entry(i, m)] }
+
+// HasEntry reports whether source k observed entry e.
+func (d *Dataset) HasEntry(k, e int) bool { return d.present[k][e] }
+
+// Get returns source k's observation of entry (i, m). The result is
+// meaningless unless Has(k, i, m) is true.
+func (d *Dataset) Get(k, i, m int) Value { return d.obs[k][d.Entry(i, m)] }
+
+// GetEntry returns source k's observation of entry e.
+func (d *Dataset) GetEntry(k, e int) Value { return d.obs[k][e] }
+
+// ObservationCount returns the number of entries source k observed.
+func (d *Dataset) ObservationCount(k int) int { return d.counts[k] }
+
+// ForEntry calls fn for every source that observed entry e.
+func (d *Dataset) ForEntry(e int, fn func(k int, v Value)) {
+	for k := range d.obs {
+		if d.present[k][e] {
+			fn(k, d.obs[k][e])
+		}
+	}
+}
+
+// EntryObservers returns the number of sources observing entry e.
+func (d *Dataset) EntryObservers(e int) int {
+	var n int
+	for k := range d.present {
+		if d.present[k][e] {
+			n++
+		}
+	}
+	return n
+}
+
+// HasTimestamps reports whether the dataset carries per-object timestamps.
+func (d *Dataset) HasTimestamps() bool { return d.timestamps != nil }
+
+// Timestamp returns object i's collection timestamp (0 when absent).
+func (d *Dataset) Timestamp(i int) int {
+	if d.timestamps == nil {
+		return 0
+	}
+	return d.timestamps[i]
+}
+
+// TimestampRange returns the minimum and maximum object timestamps.
+// Both are 0 when the dataset carries no timestamps or no objects.
+func (d *Dataset) TimestampRange() (min, max int) {
+	if d.timestamps == nil || len(d.timestamps) == 0 {
+		return 0, 0
+	}
+	min, max = d.timestamps[0], d.timestamps[0]
+	for _, t := range d.timestamps[1:] {
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return min, max
+}
+
+// Slice returns a new Dataset containing only the objects for which keep
+// returns true. Sources, properties and categorical dictionaries are shared
+// with the receiver (they are read-only), so slicing is cheap in memory.
+// Used by the streaming layer to materialize per-timestamp chunks.
+func (d *Dataset) Slice(keep func(object int) bool) *Dataset {
+	M := len(d.props)
+	var objIdx []int
+	for i := range d.objects {
+		if keep(i) {
+			objIdx = append(objIdx, i)
+		}
+	}
+	out := &Dataset{
+		objects: make([]string, len(objIdx)),
+		props:   d.props,
+		sources: d.sources,
+		obs:     make([][]Value, len(d.sources)),
+		present: make([][]bool, len(d.sources)),
+		counts:  make([]int, len(d.sources)),
+	}
+	if d.timestamps != nil {
+		out.timestamps = make([]int, len(objIdx))
+	}
+	for ni, i := range objIdx {
+		out.objects[ni] = d.objects[i]
+		if d.timestamps != nil {
+			out.timestamps[ni] = d.timestamps[i]
+		}
+	}
+	for k := range d.sources {
+		out.obs[k] = make([]Value, len(objIdx)*M)
+		out.present[k] = make([]bool, len(objIdx)*M)
+		for ni, i := range objIdx {
+			copy(out.obs[k][ni*M:(ni+1)*M], d.obs[k][i*M:(i+1)*M])
+			copy(out.present[k][ni*M:(ni+1)*M], d.present[k][i*M:(i+1)*M])
+		}
+		for _, p := range out.present[k] {
+			if p {
+				out.counts[k]++
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency and returns a descriptive error on
+// the first violation found. A Dataset produced by Builder.Build always
+// validates; this is primarily for datasets decoded from external files.
+func (d *Dataset) Validate() error {
+	NM := d.NumEntries()
+	if len(d.obs) != len(d.sources) || len(d.present) != len(d.sources) {
+		return fmt.Errorf("data: source arrays sized %d/%d, want %d", len(d.obs), len(d.present), len(d.sources))
+	}
+	for k := range d.sources {
+		if len(d.obs[k]) != NM || len(d.present[k]) != NM {
+			return fmt.Errorf("data: source %d matrices sized %d/%d, want %d", k, len(d.obs[k]), len(d.present[k]), NM)
+		}
+		var c int
+		for e, p := range d.present[k] {
+			if !p {
+				continue
+			}
+			c++
+			m := d.EntryProp(e)
+			if d.props[m].Type == Categorical {
+				if id := int(d.obs[k][e].C); id < 0 || id >= d.props[m].NumCats() {
+					return fmt.Errorf("data: source %d entry %d category %d out of range [0,%d)", k, e, id, d.props[m].NumCats())
+				}
+			}
+		}
+		if c != d.counts[k] {
+			return fmt.Errorf("data: source %d count %d, want %d", k, d.counts[k], c)
+		}
+	}
+	if d.timestamps != nil && len(d.timestamps) != len(d.objects) {
+		return fmt.Errorf("data: %d timestamps for %d objects", len(d.timestamps), len(d.objects))
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the TSV decoder: arbitrary input must never panic,
+// and any input that decodes successfully must survive an
+// encode→decode round trip with identical shape.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"P\tp\tcontinuous\nV\to\tp\ts\t1.5\n",
+		"P\tp\tcategorical\nV\to\tp\ts\tred\nT\to\tp\tblue\n",
+		"P\ta\tcontinuous\nP\tb\tcategorical\nO\tobj\t3\nV\tobj\ta\ts1\t-2.25\nV\tobj\tb\ts2\tx\n",
+		"P\tp\tcontinuous\nV\to\tp\ts\tNaN\n",
+		"P\tp\tcontinuous\nV\to\tp\ts\t1e400\n",
+		"V\to\tp\ts\t1\n",
+		"P\tp\tweird\n",
+		"Z\tgarbage\n",
+		"P\tp\tcontinuous\nV\to\tp\n",
+		"O\tobj\tnotanint\n",
+		"P\tp\tcategorical\nV\to\tp\ts\t\n",
+		"P\t\tcontinuous\nV\to\t\ts\t1\n",
+		strings.Repeat("P\tp\tcontinuous\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		d, gt, err := Decode(bytes.NewReader(in))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("decoded dataset invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, d, gt); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		d2, gt2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\nencoded:\n%s", err, buf.String())
+		}
+		if d2.NumObservations() != d.NumObservations() {
+			t.Fatalf("observations changed: %d -> %d", d.NumObservations(), d2.NumObservations())
+		}
+		want := 0
+		if gt != nil {
+			want = gt.Count()
+		}
+		got := 0
+		if gt2 != nil {
+			got = gt2.Count()
+		}
+		if got != want {
+			t.Fatalf("ground truths changed: %d -> %d", want, got)
+		}
+	})
+}

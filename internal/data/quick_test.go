@@ -1,0 +1,193 @@
+package data
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDataset builds a random mixed-type dataset from a compact
+// generator state, for property-based testing.
+func randomDataset(seed int64) (*Dataset, *Table) {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	nProps := 1 + rng.Intn(4)
+	props := make([]int, nProps)
+	for m := 0; m < nProps; m++ {
+		if rng.Intn(2) == 0 {
+			props[m] = b.MustProperty(fmt.Sprintf("c%d", m), Continuous)
+		} else {
+			p := b.MustProperty(fmt.Sprintf("k%d", m), Categorical)
+			for v := 0; v < 2+rng.Intn(5); v++ {
+				b.CatValue(p, fmt.Sprintf("v%d", v))
+			}
+			props[m] = p
+		}
+	}
+	nObj := 1 + rng.Intn(12)
+	nSrc := 1 + rng.Intn(5)
+	for i := 0; i < nObj; i++ {
+		obj := b.Object(fmt.Sprintf("o%d", i))
+		if rng.Intn(2) == 0 {
+			b.SetTimestampIdx(obj, rng.Intn(5))
+		}
+		for k := 0; k < nSrc; k++ {
+			src := b.Source(fmt.Sprintf("s%d", k))
+			for m := 0; m < nProps; m++ {
+				if rng.Float64() < 0.3 {
+					continue // missing value
+				}
+				var v Value
+				if b.props[props[m]].Type == Continuous {
+					// Values exercising formatting edge cases.
+					v = Float(math.Trunc(rng.NormFloat64()*1e6) / 1e3)
+				} else {
+					v = Cat(rng.Intn(b.props[props[m]].NumCats()))
+				}
+				b.ObserveIdx(src, obj, props[m], v)
+			}
+		}
+	}
+	d := b.Build()
+	gt := NewTableFor(d)
+	for e := 0; e < d.NumEntries(); e++ {
+		if rng.Float64() < 0.4 {
+			if d.Prop(d.EntryProp(e)).Type == Continuous {
+				gt.Set(e, Float(float64(rng.Intn(100))))
+			} else if n := d.Prop(d.EntryProp(e)).NumCats(); n > 0 {
+				gt.Set(e, Cat(rng.Intn(n)))
+			}
+		}
+	}
+	return d, gt
+}
+
+// TestCodecRoundTripQuick: Encode→Decode preserves every observation,
+// timestamp, and ground truth for arbitrary datasets.
+func TestCodecRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		d, gt := randomDataset(seed)
+		var buf bytes.Buffer
+		if err := Encode(&buf, d, gt); err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		d2, gt2, err := Decode(&buf)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		// Sources with no observations carry no information and are not
+		// serialized.
+		var activeSources int
+		for k := 0; k < d.NumSources(); k++ {
+			if d.ObservationCount(k) > 0 {
+				activeSources++
+			}
+		}
+		if d2.NumSources() != activeSources || d2.NumProps() != d.NumProps() {
+			return false
+		}
+		// Objects that carry no observations and no truths are not
+		// serialized, so compare via name lookup.
+		name2idx := make(map[string]int)
+		for i := 0; i < d2.NumObjects(); i++ {
+			name2idx[d2.ObjectName(i)] = i
+		}
+		src2idx := make(map[string]int)
+		for k := 0; k < d2.NumSources(); k++ {
+			src2idx[d2.SourceName(k)] = k
+		}
+		prop2idx := make(map[string]int)
+		for m := 0; m < d2.NumProps(); m++ {
+			prop2idx[d2.Prop(m).Name] = m
+		}
+		for e := 0; e < d.NumEntries(); e++ {
+			i, m := d.EntryObject(e), d.EntryProp(e)
+			ok := true
+			d.ForEntry(e, func(k int, v Value) {
+				i2, found := name2idx[d.ObjectName(i)]
+				if !found {
+					ok = false
+					return
+				}
+				m2 := prop2idx[d.Prop(m).Name]
+				k2 := src2idx[d.SourceName(k)]
+				if !d2.Has(k2, i2, m2) {
+					ok = false
+					return
+				}
+				got := d2.Get(k2, i2, m2)
+				if d.Prop(m).Type == Continuous {
+					if got.F != v.F {
+						ok = false
+					}
+				} else if d2.Prop(m2).CatName(int(got.C)) != d.Prop(m).CatName(int(v.C)) {
+					ok = false
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		if d.NumObservations() != d2.NumObservations() {
+			return false
+		}
+		wantGT := gt.Count()
+		gotGT := 0
+		if gt2 != nil {
+			gotGT = gt2.Count()
+		}
+		// Truths on objects that exist in the encoding survive; truths
+		// on unobserved objects survive too because T lines create the
+		// object. So counts must match exactly.
+		return gotGT == wantGT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlicePartitionQuick: slicing by any predicate and its complement
+// partitions the observations exactly.
+func TestSlicePartitionQuick(t *testing.T) {
+	f := func(seed int64, mask uint32) bool {
+		d, _ := randomDataset(seed)
+		keep := func(i int) bool { return mask&(1<<(uint(i)%32)) != 0 }
+		a := d.Slice(keep)
+		b := d.Slice(func(i int) bool { return !keep(i) })
+		if a.NumObjects()+b.NumObjects() != d.NumObjects() {
+			return false
+		}
+		if a.NumObservations()+b.NumObservations() != d.NumObservations() {
+			return false
+		}
+		return a.Validate() == nil && b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObserveFloatRejectsNonFinite(t *testing.T) {
+	b := NewBuilder()
+	if err := b.ObserveFloat("s", "o", "p", math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if err := b.ObserveFloat("s", "o", "p", math.Inf(1)); err == nil {
+		t.Fatal("+Inf accepted")
+	}
+	if err := b.ObserveFloat("s", "o", "p", math.Inf(-1)); err == nil {
+		t.Fatal("-Inf accepted")
+	}
+	if err := b.ObserveFloat("s", "o", "p", 1.5); err != nil {
+		t.Fatalf("finite value rejected: %v", err)
+	}
+	// The dataset contains only the accepted observation.
+	if got := b.Build().NumObservations(); got != 1 {
+		t.Fatalf("observations = %d", got)
+	}
+}

@@ -1,0 +1,72 @@
+package data
+
+// Table holds at most one value per entry of a Dataset: the inferred truths
+// produced by a conflict-resolution method, or the (possibly partial) ground
+// truths used in evaluation. Entries are addressed by the owning Dataset's
+// flattened entry index.
+type Table struct {
+	// M is the number of properties of the owning dataset, kept so a
+	// Table can translate (object, property) pairs on its own.
+	M    int
+	vals []Value
+	set  []bool
+}
+
+// NewTable returns an empty table for a dataset with n objects and m
+// properties.
+func NewTable(n, m int) *Table {
+	return &Table{M: m, vals: make([]Value, n*m), set: make([]bool, n*m)}
+}
+
+// NewTableFor returns an empty table shaped like d.
+func NewTableFor(d *Dataset) *Table { return NewTable(d.NumObjects(), d.NumProps()) }
+
+// Len returns the number of addressable entries (N*M).
+func (t *Table) Len() int { return len(t.vals) }
+
+// Count returns the number of entries holding a value.
+func (t *Table) Count() int {
+	var n int
+	for _, s := range t.set {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Set stores a value for entry e.
+func (t *Table) Set(e int, v Value) {
+	t.vals[e] = v
+	t.set[e] = true
+}
+
+// SetAt stores a value for entry (i, m).
+func (t *Table) SetAt(i, m int, v Value) { t.Set(i*t.M+m, v) }
+
+// Get returns the value for entry e and whether one is present.
+func (t *Table) Get(e int) (Value, bool) { return t.vals[e], t.set[e] }
+
+// GetAt returns the value for entry (i, m) and whether one is present.
+func (t *Table) GetAt(i, m int) (Value, bool) { return t.Get(i*t.M + m) }
+
+// Has reports whether entry e holds a value.
+func (t *Table) Has(e int) bool { return t.set[e] }
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	return &Table{
+		M:    t.M,
+		vals: append([]Value(nil), t.vals...),
+		set:  append([]bool(nil), t.set...),
+	}
+}
+
+// ForEach calls fn for every set entry in ascending entry order.
+func (t *Table) ForEach(fn func(e int, v Value)) {
+	for e, s := range t.set {
+		if s {
+			fn(e, t.vals[e])
+		}
+	}
+}

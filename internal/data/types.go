@@ -1,0 +1,106 @@
+// Package data defines the heterogeneous data model used throughout the CRH
+// framework: objects, typed properties, sources, observations, entries and
+// truth tables.
+//
+// Terminology follows Definition 1 of the paper:
+//
+//   - An object is a person or thing of interest.
+//   - A property is a feature describing an object; each property has a data
+//     type (continuous or categorical).
+//   - A source is a place observations are collected from.
+//   - An observation is the value a source reports for one property of one
+//     object.
+//   - An entry is a (object, property) pair; the truth of an entry is its
+//     single accurate value.
+//
+// The model supports missing values: each source may observe an arbitrary
+// subset of entries. Categorical values are interned into per-property
+// dictionaries so that hot loops operate on integer category indices.
+package data
+
+import "fmt"
+
+// Type is the data type of a property.
+type Type uint8
+
+const (
+	// Continuous marks a real-valued property (e.g., temperature,
+	// departure time in minutes).
+	Continuous Type = iota
+	// Categorical marks a discrete-valued property (e.g., weather
+	// condition, departure gate).
+	Categorical
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Continuous:
+		return "continuous"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a single observed or inferred value. Exactly one of the payloads
+// is meaningful, selected by the owning property's Type: F for Continuous
+// properties, C (a category index into the property's dictionary) for
+// Categorical properties.
+type Value struct {
+	F float64
+	C int32
+}
+
+// Float constructs a continuous Value.
+func Float(f float64) Value { return Value{F: f} }
+
+// Cat constructs a categorical Value from a dictionary index.
+func Cat(id int) Value { return Value{C: int32(id)} }
+
+// Equal reports whether two values are equal under the given property type.
+func (v Value) Equal(o Value, t Type) bool {
+	if t == Categorical {
+		return v.C == o.C
+	}
+	return v.F == o.F
+}
+
+// Property describes one feature of the objects in a Dataset, including the
+// categorical dictionary when Type is Categorical.
+type Property struct {
+	Name string
+	Type Type
+
+	cats    []string
+	catByID map[string]int
+}
+
+// NumCats returns the number of distinct categorical values interned for
+// this property (0 for continuous properties).
+func (p *Property) NumCats() int { return len(p.cats) }
+
+// CatName returns the string for a category index. It panics on an
+// out-of-range index, which always indicates corrupted state.
+func (p *Property) CatName(id int) string { return p.cats[id] }
+
+// CatID returns the index for a category string and whether it is known.
+func (p *Property) CatID(s string) (int, bool) {
+	id, ok := p.catByID[s]
+	return id, ok
+}
+
+// internCat returns the index for s, interning it if new.
+func (p *Property) internCat(s string) int {
+	if id, ok := p.catByID[s]; ok {
+		return id
+	}
+	if p.catByID == nil {
+		p.catByID = make(map[string]int)
+	}
+	id := len(p.cats)
+	p.cats = append(p.cats, s)
+	p.catByID[s] = id
+	return id
+}

@@ -1,0 +1,156 @@
+// Package eval implements the paper's performance measures (Section 3.1.1)
+// and the ground-truth source-reliability computation used in Figure 1.
+//
+// All measures are computed only over entries that carry a ground truth;
+// ground truths are never visible to the conflict-resolution methods.
+package eval
+
+import (
+	"math"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// Metrics summarizes a method's output against ground truth.
+type Metrics struct {
+	// ErrorRate is the fraction of categorical ground-truth entries on
+	// which the method's output differs from the truth. NaN when the
+	// data has no categorical ground truths.
+	ErrorRate float64
+	// MNAD is the Mean Normalized Absolute Distance on continuous
+	// ground-truth entries: |output − truth| normalized by the entry's
+	// observation spread, averaged. NaN when the data has no continuous
+	// ground truths.
+	MNAD float64
+
+	// CatEntries / CatWrong break down the error rate; ContEntries
+	// counts the entries contributing to MNAD. Entries the method left
+	// unresolved count as wrong (categorical) or are skipped with
+	// Unresolved incremented (continuous). A method that resolves *no*
+	// categorical entries at all (e.g., Mean, which handles only
+	// continuous data) reports ErrorRate = NaN rather than 1, matching
+	// the paper's "NA" cells.
+	CatEntries, CatWrong, CatResolved, ContEntries, Unresolved int
+}
+
+// Evaluate scores output against the partial ground truth gt on dataset d.
+// Continuous distances are normalized by the standard deviation of the
+// entry's multi-source observations ("we normalize the distance on each
+// entry by its own variance", Section 3.1.1); zero-spread entries use a
+// unit normalizer so exact hits still score 0.
+func Evaluate(d *data.Dataset, output, gt *data.Table) Metrics {
+	var m Metrics
+	var nadSum float64
+	var vals []float64
+	gt.ForEach(func(e int, want data.Value) {
+		p := d.Prop(d.EntryProp(e))
+		got, ok := output.Get(e)
+		if p.Type == data.Categorical {
+			m.CatEntries++
+			if ok {
+				m.CatResolved++
+			}
+			if !ok || got.C != want.C {
+				m.CatWrong++
+			}
+			if !ok {
+				m.Unresolved++
+			}
+			return
+		}
+		if !ok {
+			m.Unresolved++
+			return
+		}
+		vals = vals[:0]
+		d.ForEntry(e, func(_ int, v data.Value) { vals = append(vals, v.F) })
+		std := stats.Std(vals)
+		if std < 1e-12 {
+			std = 1
+		}
+		nadSum += math.Abs(got.F-want.F) / std
+		m.ContEntries++
+	})
+	if m.CatEntries > 0 && m.CatResolved > 0 {
+		m.ErrorRate = float64(m.CatWrong) / float64(m.CatEntries)
+	} else {
+		m.ErrorRate = math.NaN()
+	}
+	if m.ContEntries > 0 {
+		m.MNAD = nadSum / float64(m.ContEntries)
+	} else {
+		m.MNAD = math.NaN()
+	}
+	return m
+}
+
+// TrueReliability computes each source's ground-truth reliability degree as
+// used for Figure 1: on categorical entries, the probability of a correct
+// statement; on continuous entries, a closeness score exp(−NAD) averaged
+// over observations (1 for exact agreement, decaying with normalized
+// distance). The two are averaged when a source observes both types.
+// Returned scores lie in [0, 1].
+func TrueReliability(d *data.Dataset, gt *data.Table) []float64 {
+	K := d.NumSources()
+	catOK := make([]float64, K)
+	catN := make([]float64, K)
+	contScore := make([]float64, K)
+	contN := make([]float64, K)
+	var vals []float64
+	gt.ForEach(func(e int, want data.Value) {
+		p := d.Prop(d.EntryProp(e))
+		if p.Type == data.Categorical {
+			d.ForEntry(e, func(k int, v data.Value) {
+				catN[k]++
+				if v.C == want.C {
+					catOK[k]++
+				}
+			})
+			return
+		}
+		vals = vals[:0]
+		d.ForEntry(e, func(_ int, v data.Value) { vals = append(vals, v.F) })
+		std := stats.Std(vals)
+		if std < 1e-12 {
+			std = 1
+		}
+		d.ForEntry(e, func(k int, v data.Value) {
+			contN[k]++
+			contScore[k] += math.Exp(-math.Abs(v.F-want.F) / std)
+		})
+	})
+	rel := make([]float64, K)
+	for k := 0; k < K; k++ {
+		var parts, total float64
+		if catN[k] > 0 {
+			total += catOK[k] / catN[k]
+			parts++
+		}
+		if contN[k] > 0 {
+			total += contScore[k] / contN[k]
+			parts++
+		}
+		if parts > 0 {
+			rel[k] = total / parts
+		}
+	}
+	return rel
+}
+
+// NormalizeScores rescales reliability scores into [0, 1] for cross-method
+// comparison (Figure 1 normalizes all methods' scores this way). The input
+// is not modified.
+func NormalizeScores(scores []float64) []float64 {
+	out := append([]float64(nil), scores...)
+	return stats.Normalize01(out)
+}
+
+// Correlation returns the Pearson correlation between two score vectors —
+// used to compare estimated reliability orderings against ground truth.
+func Correlation(a, b []float64) float64 { return stats.Pearson(a, b) }
+
+// RankCorrelation returns the Spearman rank correlation between two score
+// vectors — the right comparison when one side is ratio-scale (e.g.,
+// inverse-loss weights) whose heavy tail would dominate Pearson.
+func RankCorrelation(a, b []float64) float64 { return stats.Spearman(a, b) }

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// fixture: 2 sources, 2 objects, temp (continuous) + cond (categorical).
+func fixture(t *testing.T) (*data.Dataset, *data.Table) {
+	t.Helper()
+	b := data.NewBuilder()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.ObserveFloat("s1", "o1", "temp", 10))
+	must(b.ObserveFloat("s2", "o1", "temp", 14)) // std = 2
+	must(b.ObserveCat("s1", "o1", "cond", "x"))
+	must(b.ObserveCat("s2", "o1", "cond", "y"))
+	must(b.ObserveFloat("s1", "o2", "temp", 20))
+	must(b.ObserveFloat("s2", "o2", "temp", 20)) // std = 0
+	must(b.ObserveCat("s1", "o2", "cond", "z"))
+	must(b.ObserveCat("s2", "o2", "cond", "z"))
+	d := b.Build()
+	gt := data.NewTableFor(d)
+	xID, _ := d.Prop(1).CatID("x")
+	zID, _ := d.Prop(1).CatID("z")
+	gt.SetAt(0, 0, data.Float(12))
+	gt.SetAt(0, 1, data.Cat(xID))
+	gt.SetAt(1, 0, data.Float(20))
+	gt.SetAt(1, 1, data.Cat(zID))
+	return d, gt
+}
+
+func TestEvaluatePerfectOutput(t *testing.T) {
+	d, gt := fixture(t)
+	m := Evaluate(d, gt.Clone(), gt)
+	if m.ErrorRate != 0 {
+		t.Fatalf("ErrorRate = %v, want 0", m.ErrorRate)
+	}
+	if m.MNAD != 0 {
+		t.Fatalf("MNAD = %v, want 0", m.MNAD)
+	}
+	if m.CatEntries != 2 || m.ContEntries != 2 || m.Unresolved != 0 {
+		t.Fatalf("counts: %+v", m)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	d, gt := fixture(t)
+	out := data.NewTableFor(d)
+	yID, _ := d.Prop(1).CatID("y")
+	zID, _ := d.Prop(1).CatID("z")
+	out.SetAt(0, 0, data.Float(14)) // off by 2, entry std 2 → NAD 1
+	out.SetAt(0, 1, data.Cat(yID))  // wrong
+	out.SetAt(1, 0, data.Float(21)) // off by 1, zero-spread entry → unit normalizer
+	out.SetAt(1, 1, data.Cat(zID))  // right
+	m := Evaluate(d, out, gt)
+	if m.ErrorRate != 0.5 {
+		t.Fatalf("ErrorRate = %v, want 0.5", m.ErrorRate)
+	}
+	if math.Abs(m.MNAD-1) > 1e-9 { // (1 + 1)/2
+		t.Fatalf("MNAD = %v, want 1", m.MNAD)
+	}
+}
+
+func TestEvaluateUnresolved(t *testing.T) {
+	d, gt := fixture(t)
+	out := data.NewTableFor(d) // resolves nothing
+	m := Evaluate(d, out, gt)
+	// A method that resolves no categorical entries at all is "NA".
+	if !math.IsNaN(m.ErrorRate) {
+		t.Fatalf("ErrorRate = %v, want NaN", m.ErrorRate)
+	}
+	// Unresolved continuous entries are skipped: MNAD undefined.
+	if !math.IsNaN(m.MNAD) {
+		t.Fatalf("MNAD = %v, want NaN", m.MNAD)
+	}
+	if m.Unresolved != 4 {
+		t.Fatalf("Unresolved = %d, want 4", m.Unresolved)
+	}
+}
+
+func TestEvaluateSingleTypeNaN(t *testing.T) {
+	b := data.NewBuilder()
+	if err := b.ObserveFloat("s", "o", "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	gt := data.NewTableFor(d)
+	gt.SetAt(0, 0, data.Float(1))
+	out := gt.Clone()
+	m := Evaluate(d, out, gt)
+	if !math.IsNaN(m.ErrorRate) {
+		t.Fatal("ErrorRate should be NaN with no categorical truths")
+	}
+	if m.MNAD != 0 {
+		t.Fatal("MNAD should be 0")
+	}
+}
+
+func TestTrueReliability(t *testing.T) {
+	d, gt := fixture(t)
+	rel := TrueReliability(d, gt)
+	if len(rel) != 2 {
+		t.Fatal("length")
+	}
+	// s1: cond correct on both entries; temp off by 2 (NAD 1) and exact.
+	// s2: cond wrong on o1; temp off by 2 and exact. So s1 > s2.
+	if !(rel[0] > rel[1]) {
+		t.Fatalf("rel = %v, want s1 > s2", rel)
+	}
+	for _, r := range rel {
+		if r < 0 || r > 1 {
+			t.Fatalf("reliability %v out of [0,1]", r)
+		}
+	}
+}
+
+func TestTrueReliabilityPerfectSource(t *testing.T) {
+	b := data.NewBuilder()
+	b.ObserveCat("perfect", "o", "c", "v")
+	b.ObserveCat("wrong", "o", "c", "w")
+	d := b.Build()
+	gt := data.NewTableFor(d)
+	vID, _ := d.Prop(0).CatID("v")
+	gt.SetAt(0, 0, data.Cat(vID))
+	rel := TrueReliability(d, gt)
+	if rel[0] != 1 || rel[1] != 0 {
+		t.Fatalf("rel = %v, want [1 0]", rel)
+	}
+}
+
+func TestNormalizeScores(t *testing.T) {
+	in := []float64{2, 4, 6}
+	out := NormalizeScores(in)
+	if in[0] != 2 {
+		t.Fatal("input mutated")
+	}
+	if out[0] != 0 || out[1] != 0.5 || out[2] != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	if c := Correlation([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("corr = %v", c)
+	}
+}

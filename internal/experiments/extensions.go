@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/crhkit/crh/internal/baseline"
+	"github.com/crhkit/crh/internal/core"
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/eval"
+	"github.com/crhkit/crh/internal/reg"
+	"github.com/crhkit/crh/internal/synth"
+)
+
+// The ext-* experiments evaluate this implementation's extensions — the
+// features the paper discusses or defers but does not evaluate. They are
+// not paper artifacts; crhbench lists them separately.
+
+// ExtLongTail evaluates the confidence-aware CATD weight scheme against
+// the paper's exp-max weights on a power-law (crowdsourcing-style)
+// workload where most sources contribute only a few claims.
+func ExtLongTail(s Scale) *Report {
+	r := &Report{ID: "ext-longtail", Caption: "[extension] Confidence-aware weights on long-tail data (CATD, ref [23])"}
+	objects := 2000
+	if s == ScaleFull {
+		objects = 20000
+	}
+	d, gt, trueErr := synth.LongTail(synth.LongTailConfig{Seed: seed + 40, Objects: objects})
+
+	// Correlations are reported both globally and over the well-observed
+	// head (most-active half of the workers): CATD deliberately
+	// suppresses low-count sources regardless of how lucky they look,
+	// which depresses the *global* correlation while protecting the
+	// truth estimates.
+	counts := make([]int, d.NumSources())
+	for k := 0; k < d.NumSources(); k++ {
+		counts[k] = d.ObservationCount(k)
+	}
+	headMask := topHalfByCount(counts)
+	rel := make([]float64, len(trueErr))
+	for k, e := range trueErr {
+		rel[k] = 1 - e
+	}
+	t := &TextTable{Header: []string{"Weight scheme", "ErrorRate", "MNAD", "rank-corr(all)", "rank-corr(head)"}}
+	for _, sc := range []reg.Scheme{reg.ExpMax{}, reg.ExpSum{}, reg.CATD{}} {
+		res, err := core.Run(d, core.Config{Scheme: sc})
+		if err != nil {
+			panic(err)
+		}
+		m := eval.Evaluate(d, res.Truths, gt)
+		t.AddRow(sc.Name(), fnum(m.ErrorRate), fnum(m.MNAD),
+			fmt.Sprintf("%.4f", eval.RankCorrelation(res.Weights, rel)),
+			fmt.Sprintf("%.4f", eval.RankCorrelation(mask(res.Weights, headMask), mask(rel, headMask))))
+	}
+	// Voting as the unweighted anchor.
+	vt, _ := baseline.Voting{}.Resolve(d)
+	m := eval.Evaluate(d, vt, gt)
+	t.AddRow("(unweighted voting)", fnum(m.ErrorRate), "NA", "", "")
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"finding: the spread-amplifying exp-max default over-trusts sparse lucky sources",
+		"on long-tail data; both mitigations help — exp-sum by compressing the weight",
+		"range, CATD by explicitly discounting low-count sources with the χ²(α/2, n)",
+		"confidence factor (which also lowers its tail-weight rank correlation by design)")
+	return r
+}
+
+// topHalfByCount marks the sources in the upper half of claim counts.
+func topHalfByCount(counts []int) []bool {
+	sorted := append([]int(nil), counts...)
+	sortInts(sorted)
+	cut := sorted[len(sorted)/2]
+	mask := make([]bool, len(counts))
+	for i, c := range counts {
+		mask[i] = c >= cut
+	}
+	return mask
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// mask selects the marked elements.
+func mask(xs []float64, m []bool) []float64 {
+	var out []float64
+	for i, x := range xs {
+		if m[i] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ExtCopycat evaluates source-dependence detection (AccuCopy) on the
+// canonical copier trap: a block of mirrors outvoting honest sources.
+func ExtCopycat(s Scale) *Report {
+	r := &Report{ID: "ext-copycat", Caption: "[extension] Source-dependence detection (AccuCopy) on copier data"}
+	objects := 500
+	if s == ScaleFull {
+		objects = 5000
+	}
+	d, gt := copierWorkload(seed+41, objects, 3)
+
+	t := &TextTable{Header: []string{"Method", "ErrorRate"}}
+	methods := []baseline.Method{
+		baseline.Voting{}, CRH{}, baseline.TruthFinder{}, baseline.AccuSim{}, baseline.AccuCopy{},
+	}
+	for _, m := range methods {
+		truths, _ := m.Resolve(d)
+		t.AddRow(m.Name(), fnum(eval.Evaluate(d, truths, gt).ErrorRate))
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"expected shape: every independence-assuming method tracks the mirror block's",
+		"~30% error; AccuCopy detects and discounts the copies and recovers")
+	return r
+}
+
+// copierWorkload mirrors examples/copycat: two honest sources, one
+// mediocre original, nCopies verbatim mirrors.
+func copierWorkload(sd int64, nObj, nCopies int) (*data.Dataset, *data.Table) {
+	rng := rand.New(rand.NewSource(sd))
+	b := data.NewBuilder()
+	p := b.MustProperty("fact", data.Categorical)
+	cats := make([]int, 8)
+	for i := range cats {
+		cats[i] = b.CatValue(p, fmt.Sprintf("v%d", i))
+	}
+	gt := make([]int, nObj)
+	orig := make([]int, nObj)
+	for i := 0; i < nObj; i++ {
+		b.Object(fmt.Sprintf("o%05d", i))
+		gt[i] = cats[rng.Intn(len(cats))]
+		orig[i] = gt[i]
+		if rng.Float64() < 0.30 {
+			alt := cats[rng.Intn(len(cats)-1)]
+			if alt >= gt[i] {
+				alt++
+			}
+			orig[i] = alt
+		}
+	}
+	for _, name := range []string{"honest-1", "honest-2"} {
+		src := b.Source(name)
+		for i := 0; i < nObj; i++ {
+			c := gt[i]
+			if rng.Float64() < 0.12 {
+				alt := cats[rng.Intn(len(cats)-1)]
+				if alt >= c {
+					alt++
+				}
+				c = alt
+			}
+			b.ObserveIdx(src, i, p, data.Cat(c))
+		}
+	}
+	src := b.Source("aggregator")
+	for i := 0; i < nObj; i++ {
+		b.ObserveIdx(src, i, p, data.Cat(orig[i]))
+	}
+	for m := 0; m < nCopies; m++ {
+		src := b.Source(fmt.Sprintf("mirror-%d", m))
+		for i := 0; i < nObj; i++ {
+			b.ObserveIdx(src, i, p, data.Cat(orig[i]))
+		}
+	}
+	d := b.Build()
+	tb := data.NewTableFor(d)
+	for i := 0; i < nObj; i++ {
+		tb.SetAt(i, 0, data.Cat(gt[i]))
+	}
+	return d, tb
+}
+
+// ExtGroups evaluates fine-grained per-property source weights against a
+// single global weight when sources have property-dependent reliability
+// (the §2.5 consistency-assumption relaxation).
+func ExtGroups(s Scale) *Report {
+	r := &Report{ID: "ext-groups", Caption: "[extension] Per-property source weights vs the consistency assumption"}
+	objects := 1500
+	if s == ScaleFull {
+		objects = 15000
+	}
+	d, gt := splitWorkload(seed+42, objects)
+	t := &TextTable{Header: []string{"Configuration", "ErrorRate", "MNAD"}}
+	global, err := core.Run(d, core.Config{})
+	if err != nil {
+		panic(err)
+	}
+	m := eval.Evaluate(d, global.Truths, gt)
+	t.AddRow("one weight per source (paper default)", fnum(m.ErrorRate), fnum(m.MNAD))
+	grouped, err := core.Run(d, core.Config{PropertyGroups: [][]int{{0}, {1}}})
+	if err != nil {
+		panic(err)
+	}
+	m = eval.Evaluate(d, grouped.Truths, gt)
+	t.AddRow("per-property weights (fine-grained)", fnum(m.ErrorRate), fnum(m.MNAD))
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"workload: each source is accurate on one property and poor on the other, so",
+		"a single global weight must average away exactly the information that matters")
+	return r
+}
+
+// splitWorkload: sources whose reliability differs per property.
+func splitWorkload(sd int64, nObj int) (*data.Dataset, *data.Table) {
+	rng := rand.New(rand.NewSource(sd))
+	b := data.NewBuilder()
+	tempP := b.MustProperty("reading", data.Continuous)
+	condP := b.MustProperty("status", data.Categorical)
+	cats := make([]int, 6)
+	for i := range cats {
+		cats[i] = b.CatValue(condP, fmt.Sprintf("s%d", i))
+	}
+	gtTemp := make([]float64, nObj)
+	gtCond := make([]int, nObj)
+	for i := 0; i < nObj; i++ {
+		b.Object(fmt.Sprintf("u%05d", i))
+		gtTemp[i] = rng.Float64() * 100
+		gtCond[i] = cats[rng.Intn(len(cats))]
+	}
+	type prof struct {
+		name          string
+		tempStd, flip float64
+	}
+	profs := []prof{
+		{"numGood-1", 0.4, 0.6},
+		{"numGood-2", 0.7, 0.5},
+		{"catGood-1", 15, 0.03},
+		{"catGood-2", 18, 0.06},
+		{"middling", 6, 0.3},
+	}
+	for _, pr := range profs {
+		src := b.Source(pr.name)
+		for i := 0; i < nObj; i++ {
+			b.ObserveIdx(src, i, tempP, data.Float(gtTemp[i]+rng.NormFloat64()*pr.tempStd))
+			c := gtCond[i]
+			if rng.Float64() < pr.flip {
+				alt := cats[rng.Intn(len(cats)-1)]
+				if alt >= c {
+					alt++
+				}
+				c = alt
+			}
+			b.ObserveIdx(src, i, condP, data.Cat(c))
+		}
+	}
+	d := b.Build()
+	tb := data.NewTableFor(d)
+	for i := 0; i < nObj; i++ {
+		tb.SetAt(i, tempP, data.Float(gtTemp[i]))
+		tb.SetAt(i, condP, data.Cat(gtCond[i]))
+	}
+	return d, tb
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Report is one experiment's output: a caption, one or more text tables,
+// and free-form notes comparing the result to the paper.
+type Report struct {
+	ID      string // e.g., "table2", "fig5"
+	Caption string
+	Tables  []*TextTable
+	Notes   []string
+}
+
+// Render writes the report in a monospace layout.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Caption)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Render(w)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "note: %s\n", n)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// TextTable is a simple aligned text table.
+type TextTable struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *TextTable) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *TextTable) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "-- %s --\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// fnum formats a metric, rendering NaN as the paper's "NA".
+func fnum(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// fsec formats a duration in seconds with paper-style precision.
+func fsec(sec float64) string { return fmt.Sprintf("%.3f", sec) }

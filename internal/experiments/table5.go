@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/crhkit/crh/internal/core"
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/eval"
+	"github.com/crhkit/crh/internal/stream"
+)
+
+// Table5 reproduces Table 5: CRH vs incremental CRH (I-CRH) on Error Rate,
+// MNAD and running time over the three real-world-equivalent data sets.
+// I-CRH consumes the data day by day (window = 1 timestamp).
+func Table5(s Scale) *Report {
+	r := &Report{ID: "table5", Caption: "Performance comparison of CRH and I-CRH"}
+	t := &TextTable{Header: []string{"Dataset", "Method", "ErrorRate", "MNAD", "Time (s)"}}
+
+	sets := []struct {
+		name  string
+		build func(Scale) (*data.Dataset, *data.Table)
+	}{
+		{"weather", WeatherData},
+		{"stock", StockData},
+		{"flight", FlightData},
+	}
+	for _, set := range sets {
+		d, gt := set.build(s)
+
+		start := time.Now()
+		batch, err := core.Run(d, core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		batchTime := time.Since(start)
+		mb := eval.Evaluate(d, batch.Truths, gt)
+		t.AddRow(set.name, "CRH", fnum(mb.ErrorRate), fnum(mb.MNAD), fsec(batchTime.Seconds()))
+
+		start = time.Now()
+		inc, err := stream.Run(d, 1, stream.Config{})
+		if err != nil {
+			panic(err)
+		}
+		incTime := time.Since(start)
+		mi := eval.Evaluate(d, inc.Truths, gt)
+		t.AddRow(set.name, "I-CRH", fnum(mi.ErrorRate), fnum(mi.MNAD), fsec(incTime.Seconds()))
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"expected shape (paper Table 5): I-CRH slightly worse on ErrorRate/MNAD but",
+		"substantially faster — it scans each chunk once instead of iterating over all data")
+	return r
+}

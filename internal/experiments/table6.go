@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/crhkit/crh/internal/core"
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/mapreduce"
+	"github.com/crhkit/crh/internal/stats"
+	"github.com/crhkit/crh/internal/synth"
+)
+
+// scalabilityDataset builds an Adult-based simulation with approximately
+// the requested number of observations by solving rows × props × sources =
+// observations, as in Section 3.4 ("based on the Adult data set, we
+// generate large-scale data sets ... the number of observations is the
+// product of the number of entries and the number of sources").
+func scalabilityDataset(observations, sources int, seedOffset int64) (*data.Dataset, *data.Table) {
+	rows := observations / (14 * sources)
+	if rows < 1 {
+		rows = 1
+	}
+	profiles := make([]synth.SourceProfile, sources)
+	gammas := synth.PaperGammas()
+	for k := range profiles {
+		profiles[k] = synth.SourceProfile{Name: fmt.Sprintf("src%03d", k), Gamma: gammas[k%len(gammas)]}
+	}
+	return synth.Adult(synth.UCIConfig{Seed: seed + 20 + seedOffset, Rows: rows, Profiles: profiles})
+}
+
+// runParallelMeasured executes parallel CRH and returns the result.
+func runParallelMeasured(d *data.Dataset, reducers int) *mapreduce.ParallelResult {
+	res, err := mapreduce.RunParallel(d, mapreduce.ParallelConfig{
+		Core:             core.Config{MaxIters: 5, Tol: -1},
+		Reducers:         reducers,
+		DisableEarlyStop: true, // fixed job count so runtimes are comparable across workloads
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// modelStats fabricates the job statistics a fusion over n observations
+// with the given source count would produce, for sizes too large to
+// materialize in memory: per iteration, the truth job shuffles every tuple
+// (no combiner applies) and the weight job's combiner collapses the
+// shuffle to one pair per (mapper, source, property).
+func modelStats(observations, sources, props, reducers, iterations, mappers int) []*mapreduce.Stats {
+	var jobs []*mapreduce.Stats
+	for i := 0; i < iterations; i++ {
+		jobs = append(jobs, &mapreduce.Stats{
+			Name: "truth", InputRecords: observations, MapOutput: observations,
+			ShuffledPairs: observations, Mappers: mappers, Reducers: reducers,
+		})
+		jobs = append(jobs, &mapreduce.Stats{
+			Name: "weight", InputRecords: observations, MapOutput: observations,
+			ShuffledPairs: mappers * sources * props, Mappers: mappers, Reducers: reducers,
+		})
+	}
+	return jobs
+}
+
+// Table6 reproduces Table 6: parallel CRH running time on a (modeled)
+// Hadoop cluster as the number of observations grows from 10⁴ to 4×10⁸,
+// plus the Pearson correlation between observations and running time.
+// Sizes that fit in memory are actually executed on the in-process engine
+// (reporting measured wall time alongside); larger sizes use the cost
+// model with analytically derived job statistics.
+func Table6(s Scale) *Report {
+	r := &Report{ID: "table6", Caption: "Running time on (modeled) Hadoop cluster"}
+	t := &TextTable{Header: []string{"# Observations", "Cluster time (s)", "Engine wall (s)", "Mode"}}
+	model := mapreduce.DefaultCluster()
+
+	execLimit := 2_000_000
+	if s == ScaleFull {
+		execLimit = 12_000_000
+	}
+	sizes := []int{1e4, 1e5, 1e6, 1e7, 1e8, 4e8}
+	const reducers, iterations, mappers = 10, 5, 8
+
+	var obsSeries, timeSeries []float64
+	for i, n := range sizes {
+		var clusterSec float64
+		wall := "-"
+		mode := "modeled"
+		if n <= execLimit {
+			d, _ := scalabilityDataset(n, 8, int64(i))
+			res := runParallelMeasured(d, reducers)
+			clusterSec = model.Estimate(res.Jobs).Seconds()
+			wall = fsec(res.WallTime.Seconds())
+			mode = "executed"
+		} else {
+			jobs := modelStats(n, 8, 14, reducers, iterations, mappers)
+			clusterSec = model.Estimate(jobs).Seconds()
+		}
+		t.AddRow(fmt.Sprintf("%.0e", float64(n)), fmt.Sprintf("%.0f", clusterSec), wall, mode)
+		obsSeries = append(obsSeries, float64(n))
+		timeSeries = append(timeSeries, clusterSec)
+	}
+	t.AddRow("Pearson Correlation", fmt.Sprintf("%.4f", stats.Pearson(obsSeries, timeSeries)), "", "")
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"expected shape (paper Table 6): setup overhead dominates small inputs (flat ≈",
+		"constant region), then time grows linearly; Pearson ≈ 0.98")
+	return r
+}
+
+// Fig7 reproduces Figure 7: running time w.r.t. the number of entries
+// (sources fixed at 8) and w.r.t. the number of sources (entries fixed).
+func Fig7(s Scale) *Report {
+	r := &Report{ID: "fig7", Caption: "Running time w.r.t. number of observations"}
+	model := mapreduce.DefaultCluster()
+	const reducers = 10
+
+	scale := 1
+	if s == ScaleFull {
+		scale = 4
+	}
+
+	byEntries := &TextTable{Title: "(a) sources fixed (8), entries varying", Header: []string{"Entries", "Observations", "Cluster time (s)", "Engine wall (s)"}}
+	for _, rows := range []int{500 * scale, 1000 * scale, 2000 * scale, 4000 * scale} {
+		d, _ := scalabilityDataset(rows*14*8, 8, int64(rows))
+		res := runParallelMeasured(d, reducers)
+		byEntries.AddRow(fmt.Sprint(d.NumEntries()), fmt.Sprint(d.NumObservations()),
+			fmt.Sprintf("%.0f", model.Estimate(res.Jobs).Seconds()), fsec(res.WallTime.Seconds()))
+	}
+	bySources := &TextTable{Title: "(b) entries fixed, sources varying", Header: []string{"Sources", "Observations", "Cluster time (s)", "Engine wall (s)"}}
+	for _, k := range []int{4, 8, 16, 32} {
+		d, _ := scalabilityDataset(1000*scale*14*k, k, int64(100+k))
+		res := runParallelMeasured(d, reducers)
+		bySources.AddRow(fmt.Sprint(k), fmt.Sprint(d.NumObservations()),
+			fmt.Sprintf("%.0f", model.Estimate(res.Jobs).Seconds()), fsec(res.WallTime.Seconds()))
+	}
+	// At locally-executable sizes the cluster estimate is overhead-
+	// dominated (its linearity shows in the engine wall times); the
+	// modeled series below repeats both sweeps at the paper's scale,
+	// where the linear growth dominates the overhead.
+	modeled := &TextTable{Title: "(c) modeled at paper scale (10 jobs, 10 reducers)", Header: []string{"Sweep", "Observations", "Cluster time (s)"}}
+	for _, n := range []int{5e7, 1e8, 2e8, 4e8} {
+		jobs := modelStats(n, 8, 14, reducers, 5, 8)
+		modeled.AddRow("entries (8 sources)", fmt.Sprint(n), fmt.Sprintf("%.0f", model.Estimate(jobs).Seconds()))
+	}
+	for _, k := range []int{4, 8, 16, 32} {
+		n := 3_500_000 * k // 3.5M entries fixed
+		jobs := modelStats(n, k, 14, reducers, 5, 8)
+		modeled.AddRow("sources (3.5M entries)", fmt.Sprint(n), fmt.Sprintf("%.0f", model.Estimate(jobs).Seconds()))
+	}
+	r.Tables = append(r.Tables, byEntries, bySources, modeled)
+	r.Notes = append(r.Notes,
+		"expected shape (paper Fig 7): running time linear in entries with sources fixed,",
+		"and linear in sources with entries fixed (visible in the engine wall times and",
+		"the paper-scale modeled series; small executed workloads are overhead-dominated)")
+	return r
+}
+
+// Fig8 reproduces Figure 8: running time w.r.t. the number of reducers at
+// a fixed workload — non-monotone, with an interior optimum (the paper
+// observes the best performance at 10 reducers and a slowdown at 25).
+func Fig8(s Scale) *Report {
+	r := &Report{ID: "fig8", Caption: "Running time w.r.t. number of reducers"}
+	model := mapreduce.DefaultCluster()
+	rows := 2000
+	if s == ScaleFull {
+		rows = 20000
+	}
+	t := &TextTable{Header: []string{"Reducers", "Cluster time (s)", "Engine wall (s)"}}
+	d, _ := scalabilityDataset(rows*14*8, 8, 777)
+	for _, reducers := range []int{2, 5, 10, 15, 20, 25} {
+		res := runParallelMeasured(d, reducers)
+		// The modeled time uses the paper's fixed 4×10⁸ workload so the
+		// launch-overhead/parallelism tradeoff is visible at scale.
+		jobs := modelStats(4e8, 8, 14, reducers, 5, 8)
+		t.AddRow(fmt.Sprint(reducers), fmt.Sprintf("%.0f", model.Estimate(jobs).Seconds()), fsec(res.WallTime.Seconds()))
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notes = append(r.Notes,
+		"expected shape (paper Fig 8): more reducers help until ≈10, then per-reducer",
+		"startup overhead outweighs the extra parallelism (25 reducers slower than 10)")
+	return r
+}

@@ -1,0 +1,87 @@
+package loss
+
+import (
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// ZeroOne is the 0-1 loss of Eq(8): an observation costs 1 when it differs
+// from the truth and 0 otherwise. Its weighted-loss minimizer is the value
+// with the highest weighted vote (Eq 9). This is the paper's default for
+// categorical data thanks to its time and space efficiency.
+type ZeroOne struct{}
+
+// Name implements Categorical.
+func (ZeroOne) Name() string { return "zero-one" }
+
+// Truth implements Categorical: weighted voting. Ties break toward the
+// lowest category index, which makes results deterministic.
+func (ZeroOne) Truth(obs []int, ws []float64, p *data.Property) (int, []float64) {
+	votes := make([]float64, p.NumCats())
+	for j, c := range obs {
+		votes[c] += ws[j]
+	}
+	return stats.ArgMax(votes), nil
+}
+
+// Deviation implements Categorical.
+func (ZeroOne) Deviation(truth int, _ []float64, obs int, _ *data.Property) float64 {
+	if truth == obs {
+		return 0
+	}
+	return 1
+}
+
+// SquaredProb is the probabilistic strategy of Eq(10)-(12): categorical
+// observations are one-hot index vectors, the truth is a probability
+// distribution over categories obtained as the weighted mean of those
+// vectors, and the loss is the squared Euclidean distance between the truth
+// distribution and an observation's one-hot vector. It yields a soft
+// decision (the reported truth is the distribution's mode) at the cost of
+// higher space complexity.
+type SquaredProb struct{}
+
+// Name implements Categorical.
+func (SquaredProb) Name() string { return "squared-prob" }
+
+// Truth implements Categorical: the normalized weighted mean of one-hot
+// vectors (Eq 12), reported as its argmax plus the full distribution.
+func (SquaredProb) Truth(obs []int, ws []float64, p *data.Property) (int, []float64) {
+	dist := make([]float64, p.NumCats())
+	var total float64
+	for j, c := range obs {
+		dist[c] += ws[j]
+		total += ws[j]
+	}
+	if total > 0 {
+		for i := range dist {
+			dist[i] /= total
+		}
+	} else if len(obs) > 0 {
+		// Zero total weight: fall back to an unweighted distribution.
+		u := 1 / float64(len(obs))
+		for i := range dist {
+			dist[i] = 0
+		}
+		for _, c := range obs {
+			dist[c] += u
+		}
+	}
+	return stats.ArgMax(dist), dist
+}
+
+// Deviation implements Categorical: ‖I* − I_obs‖² where I* is the truth
+// distribution and I_obs the observation's one-hot vector. Expanded,
+// Σ_j I*_j² − 2·I*_obs + 1, computed in O(L).
+func (SquaredProb) Deviation(_ int, dist []float64, obs int, p *data.Property) float64 {
+	if dist == nil {
+		// No distribution available (e.g., truth injected externally):
+		// degrade gracefully to 0-1 behaviour.
+		return 1
+	}
+	var sq float64
+	for _, d := range dist {
+		sq += d * d
+	}
+	return sq - 2*dist[obs] + 1
+}

@@ -1,0 +1,45 @@
+// Package loss provides the loss functions that plug into the CRH
+// optimization framework (Section 2.4 of the paper). Each loss couples two
+// operations the block-coordinate-descent solver needs:
+//
+//   - Deviation: d_m(v*, v^k), the penalty for an observation given the
+//     current truth, used in the source-weight update (Step I).
+//   - Truth: argmin_v Σ_k w_k · d_m(v, v^k), the weighted aggregation used
+//     in the truth update (Step II).
+//
+// Continuous and categorical properties use distinct interfaces because
+// their truth spaces differ: continuous truths range over ℝ while
+// categorical truths range over the property's dictionary (optionally with
+// a probability distribution over it).
+package loss
+
+import "github.com/crhkit/crh/internal/data"
+
+// Continuous is a loss over real-valued properties. std is the standard
+// deviation of the entry's observations across sources, used to normalize
+// deviations so that entries with different scales contribute comparably
+// (Eq 13 and Eq 15); implementations must tolerate std == 0.
+type Continuous interface {
+	// Name identifies the loss in options and reports.
+	Name() string
+	// Truth returns argmin_v Σ_k ws[k] · d(v, vals[k]).
+	Truth(vals, ws []float64) float64
+	// Deviation returns d(truth, obs) normalized by std.
+	Deviation(truth, obs, std float64) float64
+}
+
+// Categorical is a loss over discrete-valued properties. Observations and
+// truths are category indices into the property's dictionary.
+type Categorical interface {
+	// Name identifies the loss in options and reports.
+	Name() string
+	// Truth aggregates weighted observations into a truth: the category
+	// index minimizing the weighted loss, plus an optional probability
+	// distribution over categories (nil for hard losses). obs[j] is the
+	// jth observer's category and ws[j] its source weight.
+	Truth(obs []int, ws []float64, p *data.Property) (truth int, dist []float64)
+	// Deviation returns the loss of an observation against the current
+	// truth. dist is the distribution returned by Truth (nil for hard
+	// losses).
+	Deviation(truth int, dist []float64, obs int, p *data.Property) float64
+}

@@ -1,0 +1,193 @@
+// Package mapreduce provides the substrate for Parallel CRH (Section 2.7):
+// a from-scratch, in-process MapReduce engine with mappers, combiners, a
+// hash-partitioned sorted shuffle and reducers, plus a calibrated cluster
+// cost model standing in for the paper's Hadoop deployment, and the
+// parallel CRH driver built on top of them.
+//
+// The engine executes map and reduce tasks on goroutine pools and is fully
+// deterministic: reducer output is ordered by (reducer, key), and the
+// values delivered to a reducer preserve mapper-shard order.
+package mapreduce
+
+import (
+	"errors"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KV is a key/value pair flowing between stages.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// Record is one unit of job input.
+type Record = any
+
+// Job describes one MapReduce execution.
+type Job struct {
+	// Name labels the job in stats and errors.
+	Name string
+	// Map is invoked once per input record and may emit any number of
+	// pairs. Required.
+	Map func(rec Record, emit func(KV))
+	// Combine optionally pre-aggregates the values of one key within a
+	// single mapper before the shuffle ("quite similar to the Reducer...
+	// just part of the partial error pairs within each Mapper",
+	// Section 2.7.3). It must be associative and produce values the
+	// Reduce function accepts.
+	Combine func(key string, values []any) []any
+	// Reduce is invoked once per key with all of the key's values and
+	// may emit any number of output pairs. Required.
+	Reduce func(key string, values []any, emit func(KV))
+
+	// NumMappers and NumReducers size the task pools; zero selects
+	// GOMAXPROCS mappers and 4 reducers.
+	NumMappers  int
+	NumReducers int
+}
+
+// Stats counts the work a job performed; the cluster cost model consumes
+// these to estimate wall-clock time on a real deployment.
+type Stats struct {
+	Name          string
+	InputRecords  int
+	MapOutput     int // pairs emitted by mappers
+	ShuffledPairs int // pairs crossing the shuffle (post-combine)
+	ReduceKeys    int
+	OutputPairs   int
+	Mappers       int
+	Reducers      int
+}
+
+// Run executes the job over the input and returns the reducer output
+// ordered by (reducer index, key). It is deterministic for a fixed job
+// and input.
+func Run(job Job, input []Record) ([]KV, *Stats, error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, nil, errors.New("mapreduce: job needs Map and Reduce")
+	}
+	nm := job.NumMappers
+	if nm <= 0 {
+		nm = runtime.GOMAXPROCS(0)
+	}
+	if nm > len(input) && len(input) > 0 {
+		nm = len(input)
+	}
+	if nm == 0 {
+		nm = 1
+	}
+	nr := job.NumReducers
+	if nr <= 0 {
+		nr = 4
+	}
+
+	stats := &Stats{Name: job.Name, InputRecords: len(input), Mappers: nm, Reducers: nr}
+
+	// Map phase: each mapper owns a contiguous shard and groups its
+	// emissions locally per (reducer, key); the combiner then collapses
+	// each local group, exactly like Hadoop's map-side combine.
+	type localGroups = map[string][]any
+	perMapper := make([][]localGroups, nm) // [mapper][reducer] -> key -> values
+	mapEmitted := make([]int, nm)
+	shuffled := make([]int, nm)
+
+	var wg sync.WaitGroup
+	shard := (len(input) + nm - 1) / nm
+	for mi := 0; mi < nm; mi++ {
+		wg.Add(1)
+		go func(mi int) {
+			defer wg.Done()
+			groups := make([]localGroups, nr)
+			for r := range groups {
+				groups[r] = make(localGroups)
+			}
+			lo := mi * shard
+			hi := lo + shard
+			if hi > len(input) {
+				hi = len(input)
+			}
+			emit := func(kv KV) {
+				r := partition(kv.Key, nr)
+				groups[r][kv.Key] = append(groups[r][kv.Key], kv.Value)
+				mapEmitted[mi]++
+			}
+			for _, rec := range input[lo:hi] {
+				job.Map(rec, emit)
+			}
+			if job.Combine != nil {
+				for r := range groups {
+					for k, vs := range groups[r] {
+						groups[r][k] = job.Combine(k, vs)
+					}
+				}
+			}
+			for r := range groups {
+				for _, vs := range groups[r] {
+					shuffled[mi] += len(vs)
+				}
+			}
+			perMapper[mi] = groups
+		}(mi)
+	}
+	wg.Wait()
+	for mi := 0; mi < nm; mi++ {
+		stats.MapOutput += mapEmitted[mi]
+		stats.ShuffledPairs += shuffled[mi]
+	}
+
+	// Shuffle: merge the mappers' local groups per reducer, preserving
+	// mapper order so value order is deterministic, then sort keys
+	// (Hadoop sorts pairs before they reach reducers).
+	merged := make([]map[string][]any, nr)
+	keys := make([][]string, nr)
+	for r := 0; r < nr; r++ {
+		merged[r] = make(map[string][]any)
+		for mi := 0; mi < nm; mi++ {
+			for k, vs := range perMapper[mi][r] {
+				merged[r][k] = append(merged[r][k], vs...)
+			}
+		}
+		ks := make([]string, 0, len(merged[r]))
+		for k := range merged[r] {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		keys[r] = ks
+		stats.ReduceKeys += len(ks)
+	}
+
+	// Reduce phase: one goroutine per reducer, each emitting into its
+	// own ordered buffer.
+	outputs := make([][]KV, nr)
+	for r := 0; r < nr; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var out []KV
+			emit := func(kv KV) { out = append(out, kv) }
+			for _, k := range keys[r] {
+				job.Reduce(k, merged[r][k], emit)
+			}
+			outputs[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	var result []KV
+	for r := 0; r < nr; r++ {
+		result = append(result, outputs[r]...)
+		stats.OutputPairs += len(outputs[r])
+	}
+	return result, stats, nil
+}
+
+// partition assigns a key to a reducer by FNV-1a hash, Hadoop's default
+// strategy modulo the hash function.
+func partition(key string, nr int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(nr))
+}

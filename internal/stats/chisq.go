@@ -1,0 +1,116 @@
+package stats
+
+import "math"
+
+// This file provides the chi-squared quantile machinery used by the
+// confidence-aware (long-tail) weight scheme: the regularized lower
+// incomplete gamma function P(a, x) and the inverse CDF of the
+// chi-squared distribution. Implementations follow the classic series /
+// continued-fraction split (Numerical Recipes §6.2) with a bisection
+// fallback for the inverse, which is plenty fast for the small degrees of
+// freedom truth discovery encounters.
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a) for a > 0, x ≥ 0.
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x <= 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaContinuedFraction(a, x)
+	}
+}
+
+// gammaSeries evaluates P(a, x) by its power series, accurate for x < a+1.
+func gammaSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaContinuedFraction evaluates Q(a, x) = 1 − P(a, x) by Lentz's
+// continued fraction, accurate for x ≥ a+1.
+func gammaContinuedFraction(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// ChiSquareCDF returns P(X ≤ x) for X ~ χ²(df).
+func ChiSquareCDF(x float64, df float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(df/2, x/2)
+}
+
+// ChiSquareInv returns the p-quantile of the chi-squared distribution
+// with df degrees of freedom (the x with P(X ≤ x) = p), by bisection on
+// the CDF. p must lie in (0, 1) and df must be positive; out-of-domain
+// arguments return NaN.
+func ChiSquareInv(p, df float64) float64 {
+	if !(p > 0 && p < 1) || df <= 0 {
+		return math.NaN()
+	}
+	// Bracket: the mean is df and the variance 2·df; expand until the
+	// CDF straddles p.
+	lo, hi := 0.0, df+10*math.Sqrt(2*df)+10
+	for ChiSquareCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e12 {
+			break
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if ChiSquareCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaP(t *testing.T) {
+	cases := []struct{ a, x, want float64 }{
+		// P(1, x) = 1 − e^{−x} (exponential distribution).
+		{1, 0.5, 1 - math.Exp(-0.5)},
+		{1, 2, 1 - math.Exp(-2)},
+		// P(0.5, x) = erf(sqrt(x)).
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		// Large-x saturation.
+		{3, 100, 1},
+	}
+	for _, c := range cases {
+		if got := GammaP(c.a, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("GammaP(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+	if got := GammaP(2, 0); got != 0 {
+		t.Errorf("GammaP(2,0) = %v", got)
+	}
+	if got := GammaP(-1, 1); !math.IsNaN(got) {
+		t.Errorf("GammaP(-1,1) = %v, want NaN", got)
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 50} {
+		prev := -1.0
+		for x := 0.0; x < 4*a; x += a / 8 {
+			p := GammaP(a, x)
+			if p < prev-1e-12 {
+				t.Fatalf("GammaP(%v,·) not monotone at x=%v", a, x)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("GammaP(%v,%v) = %v outside [0,1]", a, x, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	// Reference values from standard chi-squared tables.
+	cases := []struct{ x, df, want float64 }{
+		{3.841, 1, 0.95},
+		{5.991, 2, 0.95},
+		{0.103, 2, 0.05},
+		{18.307, 10, 0.95},
+		{3.940, 10, 0.05},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.df); math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("ChiSquareCDF(%v, df=%v) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareInvRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 10, 30, 100} {
+		for _, p := range []float64{0.025, 0.05, 0.5, 0.95, 0.975} {
+			x := ChiSquareInv(p, df)
+			if got := ChiSquareCDF(x, df); math.Abs(got-p) > 1e-9 {
+				t.Errorf("CDF(Inv(%v, df=%v)) = %v", p, df, got)
+			}
+		}
+	}
+	// Known quantiles.
+	if x := ChiSquareInv(0.95, 1); math.Abs(x-3.8415) > 1e-3 {
+		t.Errorf("χ²(0.95, 1) = %v, want 3.8415", x)
+	}
+	if x := ChiSquareInv(0.025, 10); math.Abs(x-3.2470) > 1e-3 {
+		t.Errorf("χ²(0.025, 10) = %v, want 3.2470", x)
+	}
+	// Domain errors.
+	for _, bad := range [][2]float64{{0, 5}, {1, 5}, {0.5, 0}, {-0.1, 3}} {
+		if !math.IsNaN(ChiSquareInv(bad[0], bad[1])) {
+			t.Errorf("ChiSquareInv(%v,%v) should be NaN", bad[0], bad[1])
+		}
+	}
+}
+
+// TestChiSquareQuantileGrowth verifies the property CATD relies on: the
+// lower quantile grows roughly linearly with the degrees of freedom, so a
+// source with few claims is heavily discounted relative to its claim
+// count while a source with many claims is barely discounted.
+func TestChiSquareQuantileGrowth(t *testing.T) {
+	ratio := func(n float64) float64 { return ChiSquareInv(0.025, n) / n }
+	if r3, r1000 := ratio(3), ratio(1000); !(r3 < 0.1) || !(r1000 > 0.9) {
+		t.Fatalf("discount ratios: n=3 → %v (want <0.1), n=1000 → %v (want >0.9)", r3, r1000)
+	}
+	prev := 0.0
+	for _, n := range []float64{2, 5, 10, 50, 200, 1000} {
+		r := ratio(n)
+		if r < prev {
+			t.Fatalf("discount ratio not monotone at n=%v", n)
+		}
+		prev = r
+	}
+}

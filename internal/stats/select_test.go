@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestWeightedMedianFastMatchesReference is the central correctness check:
+// quickselect must agree with the sort-based reference on every input,
+// including ties, zero weights, and sorted/reversed orders.
+func TestWeightedMedianFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(8)) // heavy ties
+			ws[i] = rng.Float64()
+			if rng.Intn(6) == 0 {
+				ws[i] = 0
+			}
+		}
+		switch trial % 4 {
+		case 1:
+			sort.Float64s(xs)
+		case 2:
+			sort.Sort(sort.Reverse(sort.Float64Slice(xs)))
+		}
+		want := WeightedMedian(xs, ws)
+		got := WeightedMedianFast(xs, ws)
+		if got != want {
+			t.Fatalf("trial %d: fast=%v want=%v xs=%v ws=%v", trial, got, want, xs, ws)
+		}
+	}
+}
+
+func TestWeightedMedianFastDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	ws := []float64{1, 2, 3, 4, 5}
+	WeightedMedianFast(xs, ws)
+	if xs[0] != 5 || ws[0] != 1 || xs[4] != 4 || ws[4] != 5 {
+		t.Fatalf("inputs mutated: %v %v", xs, ws)
+	}
+}
+
+func TestWeightedMedianFastEdgeCases(t *testing.T) {
+	if got := WeightedMedianFast(nil, nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := WeightedMedianFast([]float64{7}, []float64{2}); got != 7 {
+		t.Fatalf("single = %v", got)
+	}
+	if got := WeightedMedianFast([]float64{1, 2, 3}, []float64{0, 0, 0}); got != 2 {
+		t.Fatalf("all-zero weights = %v", got)
+	}
+	// All values identical.
+	if got := WeightedMedianFast([]float64{4, 4, 4, 4}, []float64{1, 2, 3, 4}); got != 4 {
+		t.Fatalf("constant = %v", got)
+	}
+}
+
+func TestWeightedMedianFastPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedMedianFast([]float64{1}, []float64{1, 2})
+}
+
+// TestWeightedMedianFastQuick re-verifies the Eq(16) property directly.
+func TestWeightedMedianFastQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		xs := make([]float64, len(raw))
+		ws := make([]float64, len(raw))
+		var total float64
+		for i, r := range raw {
+			xs[i] = float64(r % 13)
+			ws[i] = float64(r%5) + 0.25
+			total += ws[i]
+		}
+		m := WeightedMedianFast(xs, ws)
+		var below, above float64
+		for i := range xs {
+			if xs[i] < m {
+				below += ws[i]
+			} else if xs[i] > m {
+				above += ws[i]
+			}
+		}
+		return below < total/2+1e-12 && above <= total/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWeightedMedianSort(b *testing.B) {
+	xs, ws := benchMedianData(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WeightedMedian(xs, ws)
+	}
+}
+
+func BenchmarkWeightedMedianFast(b *testing.B) {
+	xs, ws := benchMedianData(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WeightedMedianFast(xs, ws)
+	}
+}
+
+func benchMedianData(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		ws[i] = rng.Float64()
+	}
+	return xs, ws
+}

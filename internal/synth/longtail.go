@@ -1,0 +1,132 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// LongTail generates a crowdsourcing-style workload in which source claim
+// counts follow a power law — the regime of Li et al.'s "long-tail" paper
+// (reference [23] of the CRH paper): a few head sources answer most
+// questions while the majority of sources contribute only a handful of
+// claims each. Source accuracy is drawn independently of claim count, so
+// some tail sources look perfect purely by luck — exactly the trap
+// point-estimate weighting (exp-max) falls into and the confidence-aware
+// scheme (CATD) exists to avoid.
+type LongTailConfig struct {
+	Seed    int64
+	Objects int // default 2000
+	Sources int // default 120
+	// ZipfS is the power-law exponent of the worker-selection
+	// distribution (default 1.1; larger = heavier head).
+	ZipfS float64
+	// AnswersPerTask is how many workers answer each task (default 4 —
+	// the sparse crowdsourcing regime where weight quality matters).
+	AnswersPerTask int
+}
+
+func (c LongTailConfig) withDefaults() LongTailConfig {
+	if c.Objects == 0 {
+		c.Objects = 2000
+	}
+	if c.Sources == 0 {
+		c.Sources = 120
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.AnswersPerTask == 0 {
+		c.AnswersPerTask = 4
+	}
+	return c
+}
+
+// LongTail returns the dataset, its full ground truth, and each source's
+// true error rate (for evaluating reliability estimates).
+func LongTail(cfg LongTailConfig) (*data.Dataset, *data.Table, []float64) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := data.NewBuilder()
+	catP := b.MustProperty("answer", data.Categorical)
+	numP := b.MustProperty("amount", data.Continuous)
+	cats := make([]int, 12)
+	for i := range cats {
+		cats[i] = b.CatValue(catP, fmt.Sprintf("ans%02d", i))
+	}
+
+	// Worker accuracy is independent of rank; each task is answered by
+	// AnswersPerTask distinct workers sampled ∝ 1/rank^s, so head
+	// workers accumulate thousands of claims while tail workers answer
+	// a handful each.
+	type src struct {
+		id    int
+		flip  float64
+		noise float64
+	}
+	srcs := make([]src, cfg.Sources)
+	weights := make([]float64, cfg.Sources)
+	var wTotal float64
+	for k := range srcs {
+		flip := 0.05 + rng.Float64()*0.5 // error rates 5%..55%, any rank
+		srcs[k] = src{
+			id:    b.Source(fmt.Sprintf("worker%03d", k)),
+			flip:  flip,
+			noise: 0.2 + flip, // continuous noise tracks the flip rate
+		}
+		weights[k] = 1 / math.Pow(float64(k+1), cfg.ZipfS)
+		wTotal += weights[k]
+	}
+	pickWorker := func(used map[int]bool) int {
+		for {
+			x := rng.Float64() * wTotal
+			for k, w := range weights {
+				x -= w
+				if x < 0 {
+					if !used[k] {
+						return k
+					}
+					break
+				}
+			}
+		}
+	}
+
+	gtCat := make([]int, cfg.Objects)
+	gtNum := make([]float64, cfg.Objects)
+	for i := 0; i < cfg.Objects; i++ {
+		obj := b.Object(fmt.Sprintf("task%05d", i))
+		gtCat[i] = cats[rng.Intn(len(cats))]
+		gtNum[i] = rng.Float64() * 100
+		used := make(map[int]bool, cfg.AnswersPerTask)
+		for a := 0; a < cfg.AnswersPerTask && a < cfg.Sources; a++ {
+			k := pickWorker(used)
+			used[k] = true
+			s := srcs[k]
+			c := gtCat[i]
+			if rng.Float64() < s.flip {
+				alt := cats[rng.Intn(len(cats)-1)]
+				if alt >= c {
+					alt++
+				}
+				c = alt
+			}
+			b.ObserveIdx(s.id, obj, catP, data.Cat(c))
+			b.ObserveIdx(s.id, obj, numP, data.Float(roundTo(gtNum[i]+rng.NormFloat64()*s.noise*10, 0.1)))
+		}
+	}
+
+	d := b.Build()
+	gt := data.NewTableFor(d)
+	for i := 0; i < cfg.Objects; i++ {
+		gt.SetAt(i, catP, data.Cat(gtCat[i]))
+		gt.SetAt(i, numP, data.Float(gtNum[i]))
+	}
+	errRates := make([]float64, cfg.Sources)
+	for k, s := range srcs {
+		errRates[k] = s.flip
+	}
+	return d, gt, errRates
+}

@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// Stock reproduces the conflict structure of the stock data set of Li et
+// al. [11] used in Section 3.2.1: ~1,000 stock symbols crawled on every
+// work day of a month from 55 deep-web sources, with 16 properties. The
+// paper treats volume, shares outstanding and market cap as continuous and
+// the remaining 13 (prices, ratios, ranges — served as formatted strings
+// by real financial sites) as categorical.
+//
+// Error structure. The dominant error mode in the real data set is
+// *staleness*: financial sites cache quotes, so when a value moves late in
+// the session many sources keep serving the same out-of-date number. The
+// simulator models this with per-entry staleness events during which a
+// class-dependent fraction of sources serves a shared stale value; higher-
+// quality sources refresh faster. Correlated stale majorities are what
+// give voting its ≈8% error in the paper while reliability-aware methods
+// do better — independent per-source noise alone would make the task
+// trivially easy for 55 sources.
+type StockConfig struct {
+	Seed    int64
+	Symbols int // default 150
+	Days    int // default 14 (work days)
+	// TruthFrac is the fraction of entries with ground truth; Table 1
+	// lists 29,198 of 326,423 ≈ 0.09. Default 0.09.
+	TruthFrac float64
+	// StaleEventRate is the per-entry probability of a staleness event
+	// (default 0.22).
+	StaleEventRate float64
+}
+
+func (c StockConfig) withDefaults() StockConfig {
+	if c.Symbols == 0 {
+		c.Symbols = 150
+	}
+	if c.Days == 0 {
+		c.Days = 14
+	}
+	if c.TruthFrac == 0 {
+		c.TruthFrac = 0.09
+	}
+	if c.StaleEventRate == 0 {
+		c.StaleEventRate = 0.22
+	}
+	return c
+}
+
+// The 16 properties: 3 continuous, 13 categorical (real sites serve the
+// latter as display strings; a wrong categorical observation models a
+// stale or mis-scraped quote).
+var stockContinuous = []string{"volume", "shares_outstanding", "market_cap"}
+var stockCategorical = []string{
+	"open_price", "close_price", "change_pct", "day_low", "day_high",
+	"week52_low", "week52_high", "eps", "pe_ratio", "yield", "dividend",
+	"prev_close", "change_amount",
+}
+
+// Stock generates the stock dataset and partial ground truth. Objects are
+// (symbol, day) pairs timestamped by day.
+func Stock(cfg StockConfig) (*data.Dataset, *data.Table) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := data.NewBuilder()
+
+	contP := make([]int, len(stockContinuous))
+	for i, n := range stockContinuous {
+		contP[i] = b.MustProperty(n, data.Continuous)
+	}
+	catP := make([]int, len(stockCategorical))
+	for i, n := range stockCategorical {
+		catP[i] = b.MustProperty(n, data.Categorical)
+	}
+
+	// 55 sources in four quality tiers. staleP is the chance a source
+	// still serves the cached value during a staleness event; flip is
+	// its independent error rate outside events.
+	const K = 55
+	type src struct {
+		id       int
+		contStd  float64 // relative error on continuous values
+		flip     float64
+		staleP   float64
+		coverage float64
+	}
+	srcs := make([]src, K)
+	for k := 0; k < K; k++ {
+		s := src{id: b.Source(fmt.Sprintf("stock-src%02d", k))}
+		switch {
+		case k < 8: // premium feeds: near-realtime anchors
+			s.contStd = 0.003 + rng.Float64()*0.007
+			s.flip = 0.002 + rng.Float64()*0.01
+			s.staleP = 0.06 + rng.Float64()*0.10
+		case k < 40: // accurate majority: fast refresh
+			s.contStd = 0.005 + rng.Float64()*0.015
+			s.flip = 0.005 + rng.Float64()*0.03
+			s.staleP = 0.30 + rng.Float64()*0.30
+		case k < 50: // mediocre
+			s.contStd = 0.02 + rng.Float64()*0.04
+			s.flip = 0.04 + rng.Float64()*0.08
+			s.staleP = 0.55 + rng.Float64()*0.25
+		default: // poor tail: nearly always cached
+			s.contStd = 0.06 + rng.Float64()*0.12
+			s.flip = 0.12 + rng.Float64()*0.2
+			s.staleP = 0.85 + rng.Float64()*0.12
+		}
+		s.coverage = 0.35 + rng.Float64()*0.6
+		if s.coverage > 1 {
+			s.coverage = 1
+		}
+		srcs[k] = s
+	}
+
+	// Per-symbol fundamentals.
+	type symbol struct {
+		price, volume, shares float64
+	}
+	syms := make([]symbol, cfg.Symbols)
+	for i := range syms {
+		syms[i] = symbol{
+			price:  math.Exp(2.5 + rng.NormFloat64()*1.1),   // ~$12 median
+			volume: math.Exp(13.5 + rng.NormFloat64()*1.4),  // ~700k median
+			shares: math.Exp(18.0 + rng.NormFloat64()*1.15), // ~65M median
+		}
+	}
+
+	M := len(contP) + len(catP)
+	gtRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	type entryTruth struct {
+		e int
+		v data.Value
+	}
+	var gts []entryTruth
+
+	for i := 0; i < cfg.Symbols; i++ {
+		for day := 0; day < cfg.Days; day++ {
+			obj := b.Object(fmt.Sprintf("sym%04d/day%02d", i, day))
+			b.SetTimestampIdx(obj, day)
+			s := &syms[i]
+			// Random walk across days.
+			price := s.price * math.Exp(0.02*rng.NormFloat64()*float64(day+1)/4)
+
+			contTruth := []float64{
+				roundTo(s.volume*math.Exp(0.3*rng.NormFloat64()), 1),
+				roundTo(s.shares, 1),
+				roundTo(s.shares*price, 1),
+			}
+			wantTruth := gtRng.Float64() < cfg.TruthFrac
+
+			// Continuous properties.
+			for mi, p := range contP {
+				if wantTruth {
+					gts = append(gts, entryTruth{obj*M + p, data.Float(contTruth[mi])})
+				}
+				// A staleness event fixes a shared out-of-date value
+				// (the pre-move quote) many sources keep serving.
+				stale := rng.Float64() < cfg.StaleEventRate
+				staleVal := contTruth[mi] * (1 + 0.04 + math.Abs(rng.NormFloat64())*0.05)
+				if rng.Intn(2) == 0 {
+					staleVal = contTruth[mi] * (1 - 0.04 - math.Abs(rng.NormFloat64())*0.05)
+				}
+				for _, sc := range srcs {
+					if rng.Float64() >= sc.coverage {
+						continue
+					}
+					v := contTruth[mi]
+					if stale && rng.Float64() < sc.staleP {
+						v = staleVal
+					}
+					v *= 1 + rng.NormFloat64()*sc.contStd
+					b.ObserveIdx(sc.id, obj, p, data.Float(roundTo(v, 1)))
+				}
+			}
+
+			// Categorical properties: formatted strings derived from
+			// the price.
+			for ci, p := range catP {
+				base := price * (0.85 + 0.02*float64(ci))
+				truthStr := fmt.Sprintf("%.2f", base)
+				truthID := b.CatValue(p, truthStr)
+				if wantTruth {
+					gts = append(gts, entryTruth{obj*M + p, data.Cat(truthID)})
+				}
+				stale := rng.Float64() < cfg.StaleEventRate
+				staleID := b.CatValue(p, fmt.Sprintf("%.2f", base*(1+0.03+0.04*rng.Float64())))
+				for _, sc := range srcs {
+					if rng.Float64() >= sc.coverage {
+						continue
+					}
+					id := truthID
+					if stale && rng.Float64() < sc.staleP {
+						id = staleID
+					} else if rng.Float64() < sc.flip {
+						// Independent scrape error: cent jitter or a
+						// scale slip.
+						if rng.Intn(3) == 0 {
+							id = b.CatValue(p, fmt.Sprintf("%.2f", base*10))
+						} else {
+							id = b.CatValue(p, fmt.Sprintf("%.2f", base+0.01+0.05*rng.Float64()))
+						}
+					}
+					b.ObserveIdx(sc.id, obj, p, data.Cat(id))
+				}
+			}
+		}
+	}
+
+	d := b.Build()
+	gt := data.NewTableFor(d)
+	for _, g := range gts {
+		gt.Set(g.e, g.v)
+	}
+	return d, gt
+}

@@ -1,0 +1,247 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
+
+// Weather reproduces the paper's weather-forecast integration task
+// (Section 3.2.1): forecasts for US cities are collected from three
+// platforms, and each platform's 1-, 2- and 3-day-ahead forecasts are
+// treated as three distinct sources — nine sources in total. Each
+// (city, day) object has three properties: high temperature and low
+// temperature (continuous, °F) and weather condition (categorical).
+//
+// Error structure. Real forecasts share two error components, and the
+// simulator reproduces both because they drive the paper's numbers:
+//
+//   - An irreducible *forecast consensus* error: all platforms predict
+//     from similar models, so their forecasts cluster around a consensus
+//     that routinely differs from the actual outcome (the paper's best
+//     method is still wrong on 37.6% of conditions, and MNAD values are
+//     ≈4.7 — several times the spread of the forecasts themselves).
+//   - Per-source error around that consensus: a platform-specific base
+//     error growing with forecast lead time, with unreliable platforms
+//     drifting toward a shared *alternative* condition (they run similar
+//     stale models), which lets weighting beat plain voting.
+
+// WeatherConfig parameterizes the simulator. The zero value matches the
+// paper's scale: 20 cities over roughly a month, 9 sources, ≈16k
+// observations and 1,920 entries, with ground truth for ~90% of entries.
+type WeatherConfig struct {
+	Seed   int64
+	Cities int // default 20
+	Days   int // default 32
+	// TruthFrac is the fraction of entries carrying ground truth
+	// (Table 1 lists 1,740 of 1,920). Default 0.906.
+	TruthFrac float64
+	// Coverage is each source's per-entry observation probability;
+	// default 0.93 yields ≈16k of the 9×1920 possible observations.
+	Coverage float64
+	// CondMissRate is the probability that the forecast consensus
+	// condition differs from the actual outcome (default 0.33).
+	CondMissRate float64
+	// TempMissStd is the standard deviation (°F) of the shared
+	// consensus temperature error (default 7).
+	TempMissStd float64
+	// TimestampsPerDay subdivides each day into finer collection
+	// timestamps (cities are spread across the sub-slots round-robin),
+	// so streaming experiments can use chunks smaller than a day —
+	// Figure 5's small-window regime. Default 1: one timestamp per day.
+	TimestampsPerDay int
+}
+
+func (c WeatherConfig) withDefaults() WeatherConfig {
+	if c.Cities == 0 {
+		c.Cities = 20
+	}
+	if c.Days == 0 {
+		c.Days = 32
+	}
+	if c.TruthFrac == 0 {
+		c.TruthFrac = 0.906
+	}
+	if c.Coverage == 0 {
+		c.Coverage = 0.93
+	}
+	if c.CondMissRate == 0 {
+		c.CondMissRate = 0.33
+	}
+	if c.TempMissStd == 0 {
+		c.TempMissStd = 7
+	}
+	if c.TimestampsPerDay == 0 {
+		c.TimestampsPerDay = 1
+	}
+	return c
+}
+
+// WeatherConditions is the categorical domain of the condition property.
+var WeatherConditions = []string{
+	"sunny", "partly-cloudy", "cloudy", "rain", "thunderstorm", "snow", "fog", "windy",
+}
+
+// weatherPlatforms describes the three forecast platforms: temperature
+// error (°F std at lead 1) around the consensus, and the probability (at
+// lead 1) of reporting a condition other than the consensus forecast.
+// Lead day l scales both by 1 + 0.45·(l−1).
+var weatherPlatforms = []struct {
+	name     string
+	tempStd  float64
+	condFlip float64
+}{
+	{"wunderground", 1.3, 0.10},
+	{"hamweather", 2.4, 0.26},
+	{"worldweather", 3.6, 0.44},
+}
+
+// Weather generates the weather-forecast dataset and its partial ground
+// truth. Objects are (city, day) pairs with the day index attached as the
+// dataset timestamp, so the same dataset drives the streaming experiments
+// (Table 5, Figures 4-6).
+func Weather(cfg WeatherConfig) (*data.Dataset, *data.Table) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := data.NewBuilder()
+	hiP := b.MustProperty("high_temp", data.Continuous)
+	loP := b.MustProperty("low_temp", data.Continuous)
+	condP := b.MustProperty("condition", data.Categorical)
+	condIDs := make([]int, len(WeatherConditions))
+	for i, c := range WeatherConditions {
+		condIDs[i] = b.CatValue(condP, c)
+	}
+
+	// Per-city climate: a base temperature plus a mild seasonal drift
+	// across the simulated month and day-to-day weather noise.
+	baseTemp := make([]float64, cfg.Cities)
+	wetness := make([]float64, cfg.Cities) // propensity for rainy states
+	for c := range baseTemp {
+		baseTemp[c] = 45 + rng.Float64()*40 // 45..85 °F
+		wetness[c] = 0.2 + rng.Float64()*0.5
+	}
+
+	type truthRow struct {
+		hi, lo float64
+		cond   int
+	}
+
+	var sources []int
+	var srcMeta []struct {
+		tempStd, condFlip float64
+	}
+	for _, p := range weatherPlatforms {
+		for lead := 1; lead <= 3; lead++ {
+			sources = append(sources, b.Source(fmt.Sprintf("%s-day%d", p.name, lead)))
+			decay := 1 + 0.45*float64(lead-1)
+			srcMeta = append(srcMeta, struct {
+				tempStd, condFlip float64
+			}{p.tempStd * decay, stats.Clamp(p.condFlip*decay, 0, 0.9)})
+		}
+	}
+
+	sampleCond := func(hi float64, wet float64) int {
+		r := rng.Float64()
+		switch {
+		case r < wet*0.5:
+			return condIDs[3] // rain
+		case r < wet*0.6:
+			return condIDs[4] // thunderstorm
+		case hi < 34 && r < wet:
+			return condIDs[5] // snow
+		case r < wet+0.25:
+			return condIDs[1] // partly-cloudy
+		case r < wet+0.45:
+			return condIDs[2] // cloudy
+		case r > 0.95:
+			return condIDs[6+rng.Intn(2)] // fog or windy
+		default:
+			return condIDs[0] // sunny
+		}
+	}
+	otherCond := func(not ...int) int {
+		for {
+			c := condIDs[rng.Intn(len(condIDs))]
+			hit := false
+			for _, n := range not {
+				if c == n {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return c
+			}
+		}
+	}
+
+	truths := make([]truthRow, 0, cfg.Cities*cfg.Days) // indexed by object
+	for c := 0; c < cfg.Cities; c++ {
+		for day := 0; day < cfg.Days; day++ {
+			name := fmt.Sprintf("city%02d/day%02d", c, day)
+			obj := b.Object(name)
+			b.SetTimestampIdx(obj, day*cfg.TimestampsPerDay+c%cfg.TimestampsPerDay)
+
+			season := 6 * math.Sin(2*math.Pi*float64(day)/float64(cfg.Days))
+			hi := baseTemp[c] + season + rng.NormFloat64()*5
+			lo := hi - 8 - rng.Float64()*12
+			cond := sampleCond(hi, wetness[c])
+			truths = append(truths, truthRow{roundTo(hi, 1), roundTo(lo, 1), cond}) // index == obj
+
+			// Forecast consensus: what the platforms collectively
+			// predicted, which may miss the actual outcome.
+			consHi := hi + rng.NormFloat64()*cfg.TempMissStd
+			consLo := lo + rng.NormFloat64()*cfg.TempMissStd
+			consCond := cond
+			if rng.Float64() < cfg.CondMissRate {
+				consCond = otherCond(cond)
+			}
+			// The shared alternative unreliable platforms drift to.
+			altCond := otherCond(consCond)
+
+			for s, src := range sources {
+				meta := srcMeta[s]
+				if rng.Float64() < cfg.Coverage {
+					b.ObserveIdx(src, obj, hiP, data.Float(roundTo(consHi+rng.NormFloat64()*meta.tempStd, 1)))
+				}
+				if rng.Float64() < cfg.Coverage {
+					b.ObserveIdx(src, obj, loP, data.Float(roundTo(consLo+rng.NormFloat64()*meta.tempStd, 1)))
+				}
+				if rng.Float64() < cfg.Coverage {
+					oc := consCond
+					if rng.Float64() < meta.condFlip {
+						// Correlated drift: most misses land on the
+						// shared alternative, the rest scatter.
+						if rng.Float64() < 0.75 {
+							oc = altCond
+						} else {
+							oc = otherCond(consCond)
+						}
+					}
+					b.ObserveIdx(src, obj, condP, data.Cat(oc))
+				}
+			}
+		}
+	}
+
+	d := b.Build()
+	gt := data.NewTableFor(d)
+	gtRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for obj, tr := range truths { // deterministic: slice indexed by object
+		// Ground truth is available only for a subset of entries, as
+		// with the real crawled data (Table 1). Sample per entry.
+		if gtRng.Float64() < cfg.TruthFrac {
+			gt.SetAt(obj, hiP, data.Float(tr.hi))
+		}
+		if gtRng.Float64() < cfg.TruthFrac {
+			gt.SetAt(obj, loP, data.Float(tr.lo))
+		}
+		if gtRng.Float64() < cfg.TruthFrac {
+			gt.SetAt(obj, condP, data.Cat(tr.cond))
+		}
+	}
+	return d, gt
+}

@@ -1,0 +1,54 @@
+package crh
+
+import "github.com/crhkit/crh/internal/synth"
+
+// Synthetic multi-source data generators — the workloads of the paper's
+// evaluation. Each returns a conflicting dataset plus its (possibly
+// partial) ground truth, and is deterministic for a given seed. They are
+// exposed publicly so the experiments are reproducible from library code,
+// and because realistic conflicting-source generators are useful for
+// testing any truth-discovery pipeline.
+
+// WeatherOptions parameterizes the weather-forecast simulator (Section
+// 3.2.1's crawl: 3 platforms × 3 lead days = 9 sources, mixed
+// continuous/categorical properties, day timestamps).
+type WeatherOptions = synth.WeatherConfig
+
+// StockOptions parameterizes the deep-web stock-quote simulator (55
+// sources, 16 properties, staleness-event error structure).
+type StockOptions = synth.StockConfig
+
+// FlightOptions parameterizes the flight-status simulator (38 sources, 4
+// time + 2 gate properties, missed-update error structure).
+type FlightOptions = synth.FlightConfig
+
+// UCIOptions parameterizes the Adult/Bank noise-injection simulations of
+// Section 3.2.2 (schema-faithful synthetic rows corrupted per source by
+// the reliability parameter γ).
+type UCIOptions = synth.UCIConfig
+
+// SourceProfile describes one simulated source's reliability (γ) and
+// coverage for GenerateAdult/GenerateBank.
+type SourceProfile = synth.SourceProfile
+
+// GenerateWeather builds the weather-forecast integration workload.
+func GenerateWeather(opts WeatherOptions) (*Dataset, *Table) { return synth.Weather(opts) }
+
+// GenerateStock builds the stock-quote integration workload.
+func GenerateStock(opts StockOptions) (*Dataset, *Table) { return synth.Stock(opts) }
+
+// GenerateFlight builds the flight-status integration workload.
+func GenerateFlight(opts FlightOptions) (*Dataset, *Table) { return synth.Flight(opts) }
+
+// GenerateAdult builds the Adult-equivalent simulation (32,561 rows × 14
+// properties at full scale; 8 sources with γ = 0.1 … 2 by default).
+func GenerateAdult(opts UCIOptions) (*Dataset, *Table) { return synth.Adult(opts) }
+
+// GenerateBank builds the Bank-equivalent simulation (45,211 rows × 16
+// properties at full scale).
+func GenerateBank(opts UCIOptions) (*Dataset, *Table) { return synth.Bank(opts) }
+
+// PaperSourceProfiles returns the paper's 8-source reliability spectrum
+// (γ = {0.1, 0.4, 0.7, 1, 1.3, 1.6, 1.9, 2}) for GenerateAdult and
+// GenerateBank.
+func PaperSourceProfiles() []SourceProfile { return synth.PaperProfiles() }
