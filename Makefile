@@ -1,0 +1,32 @@
+# Tier-1 gate: everything a PR must keep green.
+#   make check     build + vet + tests with the race detector
+#   make test      fast test run (no race detector)
+#   make bench     all benchmarks
+#   make crhd      build the truth-discovery server binary
+
+GO ?= go
+
+.PHONY: check build vet test race bench crhd clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+crhd:
+	$(GO) build -o bin/crhd ./cmd/crhd
+
+clean:
+	rm -rf bin

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 
 	crh "github.com/crhkit/crh"
 )
@@ -41,9 +42,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		live     = fs.Bool("live", false, "with -stream-window: process the input as an unbounded stream (constant memory, truths printed per chunk, no evaluation)")
 		decay    = fs.Float64("decay", 1, "I-CRH decay rate α in [0,1]")
 		quiet    = fs.Bool("quiet", false, "print only weights and evaluation, not per-entry truths")
+		method   = fs.String("method", "crh", "resolution method: crh, or a baseline name (-list-methods)")
+		listM    = fs.Bool("list-methods", false, "list the registered method names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *listM {
+		fmt.Fprintln(stdout, "crh")
+		for _, name := range crh.ListBaselines() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
 	}
 
 	in := stdin
@@ -78,7 +89,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	var truths *crh.Table
 	var weights []float64
-	if *streamW > 0 {
+	if *method != "crh" {
+		m, ok := crh.BaselineByName(*method)
+		if !ok {
+			fmt.Fprintf(stderr, "crh: unknown method %q (known: crh, %s)\n", *method, strings.Join(crh.ListBaselines(), ", "))
+			return 2
+		}
+		if *streamW > 0 {
+			fmt.Fprintln(stderr, "crh: -stream-window only applies to -method crh")
+			return 2
+		}
+		truths, weights = m.Resolve(d)
+		fmt.Fprintf(stdout, "# %s\n", m.Name())
+	} else if *streamW > 0 {
 		res, err := crh.RunStream(d, *streamW, crh.StreamOptions{Core: opts, Decay: *decay, DecaySet: true})
 		if err != nil {
 			fmt.Fprintf(stderr, "crh: %v\n", err)
@@ -99,9 +122,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if !*quiet {
 		printTruths(stdout, d, truths)
 	}
-	fmt.Fprintln(stdout, "# source weights")
-	for k := 0; k < d.NumSources(); k++ {
-		fmt.Fprintf(stdout, "W\t%s\t%.6f\n", d.SourceName(k), weights[k])
+	if weights != nil {
+		fmt.Fprintln(stdout, "# source weights")
+		for k := 0; k < d.NumSources(); k++ {
+			fmt.Fprintf(stdout, "W\t%s\t%.6f\n", d.SourceName(k), weights[k])
+		}
 	}
 	if gt != nil {
 		m := crh.Evaluate(d, truths, gt)

@@ -1,0 +1,121 @@
+// Command crhd serves truth discovery over HTTP: a concurrent, versioned
+// dataset registry with live ingest, request coalescing, and an LRU
+// result cache, backed by the CRH library.
+//
+// Usage:
+//
+//	crhd [flags] [name=dataset.tsv ...]
+//
+// Positional arguments preload datasets from TSV files (the library's
+// codec format) under the given names. The server then accepts:
+//
+//	GET    /healthz                          liveness
+//	GET    /v1/stats                         counters, cache hit rate, latency histogram
+//	GET    /v1/methods                       registered resolution methods
+//	GET    /v1/datasets                      list datasets
+//	POST   /v1/datasets/{name}               create (body: TSV, may be empty)
+//	GET    /v1/datasets/{name}               dataset info
+//	DELETE /v1/datasets/{name}               delete
+//	POST   /v1/datasets/{name}/observations  live ingest (JSON batch)
+//	POST   /v1/datasets/{name}/resolve       run CRH or a baseline
+//	GET    /v1/datasets/{name}/incremental   warm I-CRH truths/weights
+//
+// See docs/SERVER.md for the JSON shapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/crhkit/crh/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stderr, nil))
+}
+
+// run is the testable entry point. When ready is non-nil the bound
+// listener address is sent on it once the server is accepting; the server
+// runs until ctx is cancelled. Returns the process exit code.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("crhd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		cacheSize = fs.Int("cache", 128, "resolve result cache capacity (entries)")
+		decay     = fs.Float64("decay", 1, "I-CRH decay rate α in [0,1] for live-ingest incremental state")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *decay < 0 || *decay > 1 {
+		fmt.Fprintf(stderr, "crhd: -decay must be in [0,1], got %g\n", *decay)
+		return 2
+	}
+
+	srv := server.New(server.Config{CacheCapacity: *cacheSize, Decay: *decay})
+
+	for _, arg := range fs.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(stderr, "crhd: preload argument %q is not name=path.tsv\n", arg)
+			return 2
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "crhd: %v\n", err)
+			return 1
+		}
+		_, err = srv.Registry().Create(name, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "crhd: preload %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "crhd: preloaded dataset %q from %s\n", name, path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "crhd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "crhd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "crhd: shutdown: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "crhd: shut down")
+		return 0
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "crhd: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	crh "github.com/crhkit/crh"
+)
+
+const smokeTSV = `P	temp	continuous
+P	cond	categorical
+V	o1	temp	s1	10
+V	o1	temp	s2	12
+V	o1	cond	s1	sunny
+V	o1	cond	s2	sunny
+V	o2	temp	s1	20
+V	o2	temp	s2	26
+V	o2	cond	s1	rain
+V	o2	cond	s2	snow
+`
+
+// TestSmoke boots crhd on an ephemeral port, preloads a dataset from
+// disk, ingests a batch over HTTP, resolves, and checks the truths match
+// a direct crh.Run on the equivalent full dataset.
+func TestSmoke(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weather.tsv")
+	if err := os.WriteFile(path, []byte(smokeTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "weather=" + path}, &stderr, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-done:
+		t.Fatalf("server exited early with code %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+
+	get := func(path string, out any) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp.StatusCode
+	}
+	post := func(path, body string, out any) int {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp.StatusCode
+	}
+
+	if code := get("/healthz", nil); code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	// The preloaded dataset is present.
+	var info struct {
+		Version      int64 `json:"version"`
+		Observations int   `json:"observations"`
+	}
+	if code := get("/v1/datasets/weather", &info); code != 200 || info.Version != 1 || info.Observations != 8 {
+		t.Fatalf("preloaded info: %+v", info)
+	}
+
+	// Live ingest.
+	ingest := `{"observations":[
+		{"source":"s1","object":"o3","property":"temp","value":30},
+		{"source":"s2","object":"o3","property":"temp","value":34},
+		{"source":"s2","object":"o3","property":"cond","value":"fog"}
+	]}`
+	if code := post("/v1/datasets/weather/observations", ingest, nil); code != 200 {
+		t.Fatalf("ingest: %d", code)
+	}
+
+	// Resolve over HTTP.
+	var env struct {
+		Version int64 `json:"version"`
+		Truths  []struct {
+			Object   string `json:"object"`
+			Property string `json:"property"`
+			Value    any    `json:"value"`
+		} `json:"truths"`
+		Weights map[string]float64 `json:"weights"`
+	}
+	if code := post("/v1/datasets/weather/resolve", `{}`, &env); code != 200 {
+		t.Fatalf("resolve: %d", code)
+	}
+	if env.Version != 2 {
+		t.Fatalf("resolve version = %d, want 2", env.Version)
+	}
+
+	// Direct run on the equivalent full dataset.
+	b := crh.NewBuilder()
+	type obs struct {
+		src, obj, prop string
+		f              float64
+		cat            string
+		isCat          bool
+	}
+	all := []obs{
+		{"s1", "o1", "temp", 10, "", false},
+		{"s2", "o1", "temp", 12, "", false},
+		{"s1", "o1", "cond", 0, "sunny", true},
+		{"s2", "o1", "cond", 0, "sunny", true},
+		{"s1", "o2", "temp", 20, "", false},
+		{"s2", "o2", "temp", 26, "", false},
+		{"s1", "o2", "cond", 0, "rain", true},
+		{"s2", "o2", "cond", 0, "snow", true},
+		{"s1", "o3", "temp", 30, "", false},
+		{"s2", "o3", "temp", 34, "", false},
+		{"s2", "o3", "cond", 0, "fog", true},
+	}
+	for _, o := range all {
+		var err error
+		if o.isCat {
+			err = b.ObserveCat(o.src, o.obj, o.prop, o.cat)
+		} else {
+			err = b.ObserveFloat(o.src, o.obj, o.prop, o.f)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	want, err := crh.Run(d, crh.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]any{}
+	for _, tr := range env.Truths {
+		got[tr.Object+"/"+tr.Property] = tr.Value
+	}
+	count := 0
+	for i := 0; i < d.NumObjects(); i++ {
+		for m := 0; m < d.NumProps(); m++ {
+			v, ok := want.Truths.GetAt(i, m)
+			if !ok {
+				continue
+			}
+			count++
+			p := d.Prop(m)
+			key := d.ObjectName(i) + "/" + p.Name
+			if p.Type == crh.Categorical {
+				if got[key] != p.CatName(int(v.C)) {
+					t.Errorf("truth %s = %v, want %s", key, got[key], p.CatName(int(v.C)))
+				}
+			} else if f, ok := got[key].(float64); !ok || math.Abs(f-v.F) > 1e-12 {
+				t.Errorf("truth %s = %v, want %v", key, got[key], v.F)
+			}
+		}
+	}
+	if len(env.Truths) != count {
+		t.Errorf("server returned %d truths, direct run has %d", len(env.Truths), count)
+	}
+	for k := 0; k < d.NumSources(); k++ {
+		name := d.SourceName(k)
+		if w, ok := env.Weights[name]; !ok || math.Abs(w-want.Weights[k]) > 1e-12 {
+			t.Errorf("weight %s = %v, want %v", name, env.Weights[name], want.Weights[k])
+		}
+	}
+
+	// /v1/stats is serving and counted the resolve.
+	var stats struct {
+		Requests struct {
+			Resolves int64 `json:"resolves"`
+		} `json:"requests"`
+	}
+	if code := get("/v1/stats", &stats); code != 200 || stats.Requests.Resolves != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	// Graceful shutdown.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestBadFlags covers the CLI error paths.
+func TestBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var stderr bytes.Buffer
+	if code := run(ctx, []string{"-decay", "1.5"}, &stderr, nil); code != 2 {
+		t.Fatalf("bad decay: exit %d", code)
+	}
+	if code := run(ctx, []string{"no-equals-sign"}, &stderr, nil); code != 2 {
+		t.Fatalf("bad preload arg: exit %d", code)
+	}
+	if code := run(ctx, []string{"x=/does/not/exist.tsv"}, &stderr, nil); code != 1 {
+		t.Fatalf("missing preload file: exit %d", code)
+	}
+	if code := run(ctx, []string{"-addr", "256.256.256.256:99999"}, &stderr, nil); code != 1 {
+		t.Fatalf("bad addr: exit %d", code)
+	}
+}

@@ -133,6 +133,17 @@ type Method = baseline.Method
 // recommended parameters.
 func Baselines() []Method { return baseline.All() }
 
+// ListBaselines returns the names of every registered conflict-resolution
+// method beyond CRH itself: the ten Table 2 baselines plus AccuCopy. The
+// names are the ones accepted by BaselineByName, cmd/crh's -method flag,
+// and crhd's resolve endpoint, so every consumer shares one registry.
+func ListBaselines() []string { return baseline.Names() }
+
+// BaselineByName returns a fresh instance of the registered method with
+// the given name (one of ListBaselines), or false when no such method
+// exists.
+func BaselineByName(name string) (Method, bool) { return baseline.ByName(name) }
+
 // WriteDataset encodes a dataset (and optional ground truth, which may be
 // nil) to w in the library's line-oriented TSV format.
 func WriteDataset(w io.Writer, d *Dataset, gt *Table) error { return data.Encode(w, d, gt) }

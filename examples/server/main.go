@@ -1,0 +1,143 @@
+// Server example: truth discovery as a service. Starts the crhd HTTP
+// subsystem in-process on an ephemeral port, then drives it as a client
+// would:
+//
+//  1. create a dataset from the TSV codec format,
+//  2. resolve it with CRH and with a baseline,
+//  3. fire concurrent identical resolves — the server coalesces them
+//     into a single computation,
+//  4. live-ingest new observations (advancing the warm incremental
+//     I-CRH state) and resolve again at the new version,
+//  5. read /v1/stats: cache hit rate, coalesce counters, latency
+//     histogram.
+//
+// Run with:
+//
+//	go run ./examples/server
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/crhkit/crh/internal/server"
+)
+
+const weatherTSV = `P	high_temp	continuous
+P	condition	categorical
+V	nyc/07-01	high_temp	wunderground	84
+V	nyc/07-01	high_temp	hamweather	79
+V	nyc/07-01	high_temp	accuview	85
+V	nyc/07-01	condition	wunderground	sunny
+V	nyc/07-01	condition	hamweather	rain
+V	nyc/07-01	condition	accuview	sunny
+V	bos/07-01	high_temp	wunderground	78
+V	bos/07-01	high_temp	hamweather	71
+V	bos/07-01	high_temp	accuview	79
+V	bos/07-01	condition	wunderground	cloudy
+V	bos/07-01	condition	hamweather	cloudy
+V	bos/07-01	condition	accuview	storm
+`
+
+func main() {
+	// 0. Boot the server subsystem on an ephemeral port.
+	srv := server.New(server.Config{CacheCapacity: 64, Decay: 0.9})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("crhd serving on", base)
+
+	// 1. Create a dataset from the TSV codec.
+	post("POST", base+"/v1/datasets/weather", weatherTSV)
+	fmt.Println("\n-- created dataset 'weather'")
+	show(get(base + "/v1/datasets/weather"))
+
+	// 2. Resolve with CRH defaults, then with the Voting baseline.
+	fmt.Println("\n-- CRH resolve")
+	show(post("POST", base+"/v1/datasets/weather/resolve", `{}`))
+	fmt.Println("\n-- Voting baseline (same registry as crh.Baselines)")
+	show(post("POST", base+"/v1/datasets/weather/resolve", `{"method":"Voting"}`))
+
+	// 3. Concurrent identical requests coalesce into one computation.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			post("POST", base+"/v1/datasets/weather/resolve", `{"options":{"weights":"exp-sum"}}`)
+		}()
+	}
+	wg.Wait()
+	fmt.Println("\n-- 6 concurrent identical resolves fired (see coalesce/cache stats below)")
+
+	// 4. Live ingest: a new day of observations arrives. The registry
+	// appends it, bumps the version, and advances warm I-CRH state;
+	// resolves on the old version were never blocked.
+	post("POST", base+"/v1/datasets/weather/observations", `{"observations":[
+		{"source":"wunderground","object":"nyc/07-02","property":"high_temp","value":88},
+		{"source":"hamweather","object":"nyc/07-02","property":"high_temp","value":82},
+		{"source":"accuview","object":"nyc/07-02","property":"high_temp","value":87},
+		{"source":"wunderground","object":"nyc/07-02","property":"condition","value":"sunny"},
+		{"source":"hamweather","object":"nyc/07-02","property":"condition","value":"storm"},
+		{"source":"accuview","object":"nyc/07-02","property":"condition","value":"sunny"}
+	]}`)
+	fmt.Println("\n-- ingested 6 observations; resolve at the new version")
+	show(post("POST", base+"/v1/datasets/weather/resolve", `{}`))
+
+	fmt.Println("\n-- warm incremental (I-CRH) state, maintained chunk by chunk")
+	show(get(base + "/v1/datasets/weather/incremental"))
+
+	// 5. Operational stats.
+	fmt.Println("\n-- /v1/stats")
+	show(get(base + "/v1/stats"))
+}
+
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+func post(method, url, body string) []byte {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: %d %s", method, url, resp.StatusCode, b)
+	}
+	return b
+}
+
+// show pretty-prints a JSON response.
+func show(raw []byte) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		fmt.Println(string(raw))
+		return
+	}
+	out, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(out))
+}

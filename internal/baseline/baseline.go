@@ -164,3 +164,31 @@ func All() []Method {
 		TruthFinder{}, AccuSim{},
 	}
 }
+
+// registered returns every method addressable by name: the Table 2 suite
+// plus the dependence-aware AccuCopy extension. This is the single
+// registry the CLIs and the crhd server share.
+func registered() []Method {
+	return append(All(), AccuCopy{})
+}
+
+// Names returns the names of every registered method, in registry order.
+func Names() []string {
+	ms := registered()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name()
+	}
+	return names
+}
+
+// ByName returns a fresh instance of the registered method with the given
+// name (as reported by Names), or false when no such method exists.
+func ByName(name string) (Method, bool) {
+	for _, m := range registered() {
+		if m.Name() == name {
+			return m, true
+		}
+	}
+	return nil, false
+}

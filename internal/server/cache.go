@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a fixed-capacity LRU cache for resolve responses, keyed
+// by (dataset uid, dataset version, method, options hash). Values are
+// immutable once inserted, so a cached *ResolveResponse may be served to
+// any number of concurrent readers.
+//
+// Stale entries need no explicit invalidation: ingest bumps the dataset
+// version (changing every future key) and deleted datasets never reuse a
+// uid, so superseded entries simply age out of the LRU order.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	val *ResolveResponse
+}
+
+// newResultCache returns an LRU cache holding up to capacity responses.
+// capacity < 1 is treated as 1.
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached response for key, marking it most recently used.
+func (c *resultCache) get(key string) (*ResolveResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// add inserts (or refreshes) a response, evicting the least recently used
+// entry when over capacity.
+func (c *resultCache) add(key string, val *ResolveResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached responses.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// capacity returns the configured maximum size.
+func (c *resultCache) capacity() int { return c.cap }

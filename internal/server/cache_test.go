@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	a, b, d := &ResolveResponse{Dataset: "a"}, &ResolveResponse{Dataset: "b"}, &ResolveResponse{Dataset: "d"}
+	c.add("a", a)
+	c.add("b", b)
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.add("d", d) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v != a {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.get("d"); !ok || v != d {
+		t.Fatal("d lost")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := newResultCache(2)
+	v1, v2 := &ResolveResponse{Version: 1}, &ResolveResponse{Version: 2}
+	c.add("k", v1)
+	c.add("k", v2)
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if v, _ := c.get("k"); v != v2 {
+		t.Fatal("refresh did not replace value")
+	}
+}
+
+func TestCacheCapacityFloor(t *testing.T) {
+	c := newResultCache(0)
+	if c.capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", c.capacity())
+	}
+	c.add("a", &ResolveResponse{})
+	c.add("b", &ResolveResponse{})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run with
+// -race this verifies the locking.
+func TestCacheConcurrent(t *testing.T) {
+	c := newResultCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				if i%3 == 0 {
+					c.add(key, &ResolveResponse{Dataset: key})
+				} else if v, ok := c.get(key); ok && v.Dataset != key {
+					t.Errorf("key %s returned value for %s", key, v.Dataset)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.len() > 16 {
+		t.Fatalf("len = %d exceeds capacity", c.len())
+	}
+}

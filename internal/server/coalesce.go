@@ -1,0 +1,58 @@
+package server
+
+import "sync"
+
+// flightGroup coalesces concurrent identical work: when several goroutines
+// Do the same key at once, one (the leader) runs fn and the rest block
+// until its result is ready, then share it. This is the classic
+// singleflight pattern, hand-rolled on the standard library so the server
+// stays dependency-free.
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[string]*flightCall
+
+	// onWait, when set, is invoked by a follower just before it blocks on
+	// the leader's result. Test instrumentation only.
+	onWait func()
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  *ResolveResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[string]*flightCall)}
+}
+
+// do runs fn for key, unless an identical call is already inflight, in
+// which case it waits for that call and returns its result. shared reports
+// whether the caller was a follower (received another call's result).
+//
+// The result a follower receives was computed by the leader; both the
+// leader and every follower see the same *ResolveResponse, which is
+// immutable by convention.
+func (g *flightGroup) do(key string, fn func() (*ResolveResponse, error)) (val *ResolveResponse, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		if g.onWait != nil {
+			g.onWait()
+		}
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(c.done)
+
+	return c.val, c.err, false
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightGroupCoalesces proves the core guarantee deterministically:
+// while one call for a key is inflight, every concurrent call for the
+// same key waits for it and shares its result — exactly one execution.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const followers = 7
+
+	var executions atomic.Int64
+	leaderIn := make(chan struct{})  // closed when the leader is inside fn
+	leaderOut := make(chan struct{}) // closed to release the leader
+	want := &ResolveResponse{Dataset: "d", Version: 1}
+
+	// Hold the leader until every follower is provably blocked on it, so
+	// the single-execution assertion is deterministic.
+	var waiting sync.WaitGroup
+	waiting.Add(followers)
+	g.onWait = waiting.Done
+
+	var wg sync.WaitGroup
+	results := make([]*ResolveResponse, followers)
+	shareds := make([]bool, followers)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, shared := g.do("k", func() (*ResolveResponse, error) {
+			executions.Add(1)
+			close(leaderIn)
+			<-leaderOut
+			return want, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: err=%v shared=%v", err, shared)
+		}
+		if v != want {
+			t.Error("leader got wrong value")
+		}
+	}()
+
+	<-leaderIn // leader is now blocked inside fn; everyone else must coalesce
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.do("k", func() (*ResolveResponse, error) {
+				executions.Add(1)
+				return &ResolveResponse{}, nil
+			})
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	waiting.Wait() // all followers are inside do, blocked on the leader
+	close(leaderOut)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("executed %d times, want exactly 1", n)
+	}
+	for i := 0; i < followers; i++ {
+		if !shareds[i] {
+			t.Errorf("follower %d not marked shared", i)
+		}
+		if results[i] != want {
+			t.Errorf("follower %d got a different instance", i)
+		}
+	}
+}
+
+// TestFlightGroupDistinctKeys checks distinct keys never coalesce.
+func TestFlightGroupDistinctKeys(t *testing.T) {
+	g := newFlightGroup()
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			_, _, shared := g.do(key, func() (*ResolveResponse, error) {
+				executions.Add(1)
+				return &ResolveResponse{Dataset: key}, nil
+			})
+			if shared {
+				t.Errorf("key %s unexpectedly shared", key)
+			}
+		}(key)
+	}
+	wg.Wait()
+	if n := executions.Load(); n != 3 {
+		t.Fatalf("executed %d times, want 3", n)
+	}
+}
+
+// TestFlightGroupSequentialReexecutes checks a finished flight does not
+// serve later calls (that is the cache's job, at a new version-aware key).
+func TestFlightGroupSequentialReexecutes(t *testing.T) {
+	g := newFlightGroup()
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, _, shared := g.do("k", func() (*ResolveResponse, error) {
+			executions.Add(1)
+			return &ResolveResponse{}, nil
+		})
+		if shared {
+			t.Fatalf("call %d: sequential call marked shared", i)
+		}
+	}
+	if n := executions.Load(); n != 3 {
+		t.Fatalf("executed %d times, want 3", n)
+	}
+}

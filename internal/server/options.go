@@ -1,0 +1,182 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crhkit/crh/internal/baseline"
+	"github.com/crhkit/crh/internal/core"
+	"github.com/crhkit/crh/internal/loss"
+	"github.com/crhkit/crh/internal/reg"
+)
+
+// MethodCRH is the resolve method name for the CRH framework itself; any
+// name from baseline.Names() selects that baseline instead.
+const MethodCRH = "crh"
+
+// ResolveRequest is the JSON body of POST /v1/datasets/{name}/resolve.
+// A missing or empty body selects CRH with the paper's defaults.
+type ResolveRequest struct {
+	// Method is "crh" (default) or a registered baseline name.
+	Method  string         `json:"method,omitempty"`
+	Options ResolveOptions `json:"options,omitempty"`
+}
+
+// ResolveOptions mirrors the tunable pieces of crh.Options over JSON.
+// Zero values select the paper's defaults. Options apply only to the
+// "crh" method; baselines run with their authors' parameters.
+type ResolveOptions struct {
+	// ContinuousLoss: "absolute" (default), "squared", or "huber".
+	ContinuousLoss string `json:"continuous_loss,omitempty"`
+	// CategoricalLoss: "zero-one" (default), "probabilistic", or
+	// "edit-distance".
+	CategoricalLoss string `json:"categorical_loss,omitempty"`
+	// Weights: "exp-max" (default), "exp-sum", "best-source", "top-j",
+	// or "catd".
+	Weights string `json:"weights,omitempty"`
+	// TopJ is the source count for the "top-j" scheme (default 3).
+	TopJ int `json:"top_j,omitempty"`
+	// MaxIters bounds the solver iterations (default 20).
+	MaxIters int `json:"max_iters,omitempty"`
+	// Confidence requests per-entry confidence scores in the response.
+	Confidence bool `json:"confidence,omitempty"`
+}
+
+// normalize fills defaults in place so equivalent requests hash equally.
+func (r *ResolveRequest) normalize() {
+	if r.Method == "" {
+		r.Method = MethodCRH
+	}
+	o := &r.Options
+	if o.ContinuousLoss == "" {
+		o.ContinuousLoss = "absolute"
+	}
+	if o.CategoricalLoss == "" {
+		o.CategoricalLoss = "zero-one"
+	}
+	if o.Weights == "" {
+		o.Weights = "exp-max"
+	}
+	if o.TopJ == 0 {
+		o.TopJ = 3
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 20
+	}
+}
+
+// validate checks the normalized request, resolving the baseline method
+// when one is named (nil for CRH itself).
+func (r *ResolveRequest) validate() (baseline.Method, error) {
+	if r.Method != MethodCRH {
+		m, ok := baseline.ByName(r.Method)
+		if !ok {
+			return nil, fmt.Errorf("unknown method %q (known: %s, %v)", r.Method, MethodCRH, baseline.Names())
+		}
+		return m, nil
+	}
+	if _, err := r.Options.build(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// build translates the normalized options into a solver configuration.
+func (o ResolveOptions) build() (core.Config, error) {
+	cfg := core.Config{MaxIters: o.MaxIters, ComputeConfidence: o.Confidence}
+	switch o.ContinuousLoss {
+	case "absolute":
+		cfg.ContinuousLoss = loss.NormalizedAbsolute{}
+	case "squared":
+		cfg.ContinuousLoss = loss.NormalizedSquared{}
+	case "huber":
+		cfg.ContinuousLoss = loss.Huber{}
+	default:
+		return cfg, fmt.Errorf("unknown continuous_loss %q", o.ContinuousLoss)
+	}
+	switch o.CategoricalLoss {
+	case "zero-one":
+		cfg.CategoricalLoss = loss.ZeroOne{}
+	case "probabilistic":
+		cfg.CategoricalLoss = loss.SquaredProb{}
+	case "edit-distance":
+		cfg.CategoricalLoss = loss.EditDistance{}
+	default:
+		return cfg, fmt.Errorf("unknown categorical_loss %q", o.CategoricalLoss)
+	}
+	switch o.Weights {
+	case "exp-max":
+		cfg.Scheme = reg.ExpMax{}
+	case "exp-sum":
+		cfg.Scheme = reg.ExpSum{}
+	case "best-source":
+		cfg.Scheme = reg.BestSource{}
+	case "top-j":
+		if o.TopJ < 1 {
+			return cfg, fmt.Errorf("top_j must be positive, got %d", o.TopJ)
+		}
+		cfg.Scheme = reg.TopJ{J: o.TopJ}
+	case "catd":
+		cfg.Scheme = reg.CATD{}
+	default:
+		return cfg, fmt.Errorf("unknown weights %q", o.Weights)
+	}
+	return cfg, nil
+}
+
+// cacheKey identifies one computation: dataset identity (uid, not name,
+// so a deleted-then-recreated dataset never aliases), dataset version,
+// method, and the normalized options. Identical keys ⇒ identical results,
+// which is what makes both the LRU cache and request coalescing sound.
+func cacheKey(uid, version int64, req *ResolveRequest) string {
+	if req.Method != MethodCRH {
+		// Baselines ignore options, so differing (ignored) options must
+		// still coalesce to one computation.
+		return fmt.Sprintf("%d@%d|m=%s", uid, version, req.Method)
+	}
+	o := req.Options
+	return fmt.Sprintf("%d@%d|m=crh|cl=%s|tl=%s|w=%s|j=%d|it=%d|conf=%t",
+		uid, version, o.ContinuousLoss, o.CategoricalLoss, o.Weights, o.TopJ, o.MaxIters, o.Confidence)
+}
+
+// TruthJSON is one resolved entry in a response.
+type TruthJSON struct {
+	Object   string `json:"object"`
+	Property string `json:"property"`
+	// Value is a float64 for continuous properties, a string for
+	// categorical ones.
+	Value any `json:"value"`
+	// Confidence is present when the request asked for it (CRH only).
+	Confidence *float64 `json:"confidence,omitempty"`
+}
+
+// ResolveResponse is the shared, immutable result of one computation. The
+// same instance may be served to many requests (cache hits, coalesced
+// followers); the per-request cached/coalesced flags live in the HTTP
+// envelope, never here.
+type ResolveResponse struct {
+	Dataset string `json:"dataset"`
+	Version int64  `json:"version"`
+	Method  string `json:"method"`
+	// Truths lists every resolved entry, ordered by object then property.
+	Truths []TruthJSON `json:"truths"`
+	// Weights maps source name to reliability weight; omitted for
+	// baselines that estimate none.
+	Weights map[string]float64 `json:"weights,omitempty"`
+	// Converged and Iterations report solver diagnostics (CRH only).
+	Converged  *bool `json:"converged,omitempty"`
+	Iterations int   `json:"iterations,omitempty"`
+}
+
+func sortTruths(ts []TruthJSON) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Object != ts[j].Object {
+			return ts[i].Object < ts[j].Object
+		}
+		return ts[i].Property < ts[j].Property
+	})
+}
+
+func sortInfos(is []DatasetInfo) {
+	sort.Slice(is, func(i, j int) bool { return is[i].Name < is[j].Name })
+}

@@ -1,0 +1,501 @@
+// Package server implements crhd's HTTP subsystem: a concurrent,
+// versioned dataset registry with copy-on-write snapshots, resolve
+// request coalescing, an LRU result cache, live ingest driving warm
+// incremental CRH (I-CRH) state, and hand-rolled operational stats.
+// Everything is standard library only.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sync"
+	"sync/atomic"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stream"
+)
+
+// Snapshot is an immutable view of a dataset at one version. Resolves
+// operate on snapshots, so they never block — and are never blocked by —
+// concurrent ingest, which installs a fresh snapshot atomically.
+type Snapshot struct {
+	// Version counts mutations: 1 after create, +1 per ingested batch.
+	Version int64
+	// Data is the materialized dataset. Immutable.
+	Data *data.Dataset
+	// GT is the ground truth loaded with the dataset, nil when none.
+	GT *data.Table
+}
+
+// obsRec is one observation in an entry's append-only log — the canonical
+// record everything else (snapshots, chunks) is rebuilt from. Values are
+// held by name/raw value so each rebuild produces a fully independent
+// Dataset sharing no mutable state with earlier snapshots.
+type obsRec struct {
+	src, obj, prop string
+	typ            data.Type
+	f              float64
+	cat            string
+	ts             int
+	hasTS          bool
+}
+
+// gtRec is one ground-truth value, kept by name so it can be re-anchored
+// after ingest changes the dataset's shape.
+type gtRec struct {
+	obj, prop string
+	typ       data.Type
+	f         float64
+	cat       string
+}
+
+type propDecl struct {
+	name string
+	typ  data.Type
+}
+
+// entry is one named dataset. Two lock domains keep resolves wait-free
+// with respect to ingest:
+//
+//   - mu serializes mutations (ingest, which appends to the log, rebuilds
+//     the snapshot, and advances the I-CRH processor). Resolves never
+//     acquire it.
+//   - snap is the copy-on-write snapshot pointer resolves read.
+//   - warmMu guards the warm incremental truths/weights, written briefly
+//     at the end of each ingest and read by the incremental endpoint.
+type entry struct {
+	name string
+	// uid is unique across all datasets ever created by this registry, so
+	// cache keys of a deleted-then-recreated name can never collide.
+	uid int64
+
+	mu      sync.Mutex
+	log     []obsRec
+	gt      []gtRec
+	sources []string
+	srcSet  map[string]int
+	props   []propDecl
+	propSet map[string]data.Type
+	proc    *stream.Processor
+
+	snap atomic.Pointer[Snapshot]
+
+	warmMu      sync.RWMutex
+	warmTruths  map[warmKey]warmVal
+	warmWeights []float64
+	warmSources []string // copy of sources, aligned with warmWeights
+	chunks      int
+}
+
+type warmKey struct{ obj, prop string }
+
+type warmVal struct {
+	typ data.Type
+	f   float64
+	cat string
+}
+
+// Snapshot returns the entry's current immutable snapshot.
+func (e *entry) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Registry is the concurrent named-dataset store. All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	entries   map[string]*entry
+	nextUID   atomic.Int64
+	streamCfg stream.Config
+}
+
+// NewRegistry returns an empty registry. decay is the I-CRH decay rate α
+// applied to warm incremental state (1 retains all history).
+func NewRegistry(decay float64) *Registry {
+	return &Registry{
+		entries:   make(map[string]*entry),
+		streamCfg: stream.Config{Decay: decay, DecaySet: true},
+	}
+}
+
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// Errors distinguished by the HTTP layer.
+var (
+	errExists   = fmt.Errorf("dataset already exists")
+	errNotFound = fmt.Errorf("dataset not found")
+	errBadName  = fmt.Errorf("invalid dataset name (want [A-Za-z0-9][A-Za-z0-9._-]{0,127})")
+)
+
+// Create registers a new dataset under name, loading its initial contents
+// from the TSV codec stream r (which may be empty for a blank dataset).
+func (r *Registry) Create(name string, src io.Reader) (*entry, error) {
+	if !nameRe.MatchString(name) {
+		return nil, errBadName
+	}
+	r.mu.RLock()
+	_, taken := r.entries[name]
+	r.mu.RUnlock()
+	if taken {
+		return nil, errExists
+	}
+	d, gt, err := data.Decode(src)
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{
+		name:       name,
+		uid:        r.nextUID.Add(1),
+		srcSet:     make(map[string]int),
+		propSet:    make(map[string]data.Type),
+		warmTruths: make(map[warmKey]warmVal),
+		proc:       stream.NewProcessor(d.NumSources(), r.streamCfg),
+	}
+	e.absorb(d, gt)
+	e.snap.Store(e.rebuild(1))
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return nil, errExists
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// absorb flattens a decoded dataset (and optional ground truth) into the
+// entry's canonical log. Caller holds no locks; the entry is not yet
+// published.
+func (e *entry) absorb(d *data.Dataset, gt *data.Table) {
+	for k := 0; k < d.NumSources(); k++ {
+		e.internSource(d.SourceName(k))
+	}
+	for m := 0; m < d.NumProps(); m++ {
+		p := d.Prop(m)
+		e.internProp(p.Name, p.Type)
+	}
+	for i := 0; i < d.NumObjects(); i++ {
+		for m := 0; m < d.NumProps(); m++ {
+			p := d.Prop(m)
+			en := d.Entry(i, m)
+			d.ForEntry(en, func(k int, v data.Value) {
+				rec := obsRec{
+					src:  d.SourceName(k),
+					obj:  d.ObjectName(i),
+					prop: p.Name,
+					typ:  p.Type,
+				}
+				if p.Type == data.Categorical {
+					rec.cat = p.CatName(int(v.C))
+				} else {
+					rec.f = v.F
+				}
+				if d.HasTimestamps() {
+					rec.ts, rec.hasTS = d.Timestamp(i), true
+				}
+				e.log = append(e.log, rec)
+			})
+			if gt != nil {
+				if v, ok := gt.Get(en); ok {
+					g := gtRec{obj: d.ObjectName(i), prop: p.Name, typ: p.Type}
+					if p.Type == data.Categorical {
+						g.cat = p.CatName(int(v.C))
+					} else {
+						g.f = v.F
+					}
+					e.gt = append(e.gt, g)
+				}
+			}
+		}
+	}
+}
+
+func (e *entry) internSource(name string) int {
+	if id, ok := e.srcSet[name]; ok {
+		return id
+	}
+	id := len(e.sources)
+	e.sources = append(e.sources, name)
+	e.srcSet[name] = id
+	return id
+}
+
+func (e *entry) internProp(name string, t data.Type) {
+	if _, ok := e.propSet[name]; !ok {
+		e.props = append(e.props, propDecl{name, t})
+		e.propSet[name] = t
+	}
+}
+
+// rebuild materializes a fresh snapshot at the given version by replaying
+// the log into a brand-new builder. The result shares no mutable state
+// (category dictionaries, interning maps) with any previous snapshot, so
+// earlier snapshots stay safe for concurrent readers. Caller must hold
+// e.mu (or exclusively own e).
+func (e *entry) rebuild(version int64) *Snapshot {
+	b := data.NewBuilder()
+	for _, s := range e.sources {
+		b.Source(s)
+	}
+	propIdx := make(map[string]int, len(e.props))
+	for _, p := range e.props {
+		propIdx[p.name] = b.MustProperty(p.name, p.typ)
+	}
+	for _, o := range e.log {
+		obj := b.Object(o.obj)
+		if o.hasTS {
+			b.SetTimestampIdx(obj, o.ts)
+		}
+		pid := propIdx[o.prop]
+		var v data.Value
+		if o.typ == data.Categorical {
+			v = data.Cat(b.CatValue(pid, o.cat))
+		} else {
+			v = data.Float(o.f)
+		}
+		b.ObserveIdx(b.Source(o.src), obj, pid, v)
+	}
+	d := b.Build()
+	var gt *data.Table
+	if len(e.gt) > 0 {
+		gt = data.NewTableFor(d)
+		for _, g := range e.gt {
+			obj := b.Object(g.obj) // all gt objects appear in the log
+			pid := propIdx[g.prop]
+			if g.typ == data.Categorical {
+				gt.SetAt(obj, pid, data.Cat(b.CatValue(pid, g.cat)))
+			} else {
+				gt.SetAt(obj, pid, data.Float(g.f))
+			}
+		}
+	}
+	return &Snapshot{Version: version, Data: d, GT: gt}
+}
+
+// Observation is one ingested observation, as posted to
+// POST /v1/datasets/{name}/observations. Value must be a JSON number
+// (continuous) or string (categorical); the property's type is inferred
+// on first mention and enforced thereafter.
+type Observation struct {
+	Source   string          `json:"source"`
+	Object   string          `json:"object"`
+	Property string          `json:"property"`
+	Value    json.RawMessage `json:"value"`
+	// Timestamp optionally places the observation's object on the I-CRH
+	// timeline; when omitted the batch sequence number is used for the
+	// incremental chunk and no timestamp is recorded on the dataset.
+	Timestamp *int `json:"timestamp,omitempty"`
+}
+
+// Ingest validates and appends a batch of observations, installs a new
+// snapshot, and advances the warm I-CRH state by processing the batch as
+// one chunk. The batch is atomic: any invalid observation rejects the
+// whole batch before any state changes. Returns the new version.
+func (e *entry) Ingest(batch []Observation) (int64, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("empty observation batch")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Pass 1: validate against committed and staged property types.
+	staged := make(map[string]data.Type)
+	recs := make([]obsRec, 0, len(batch))
+	for i, o := range batch {
+		if o.Source == "" || o.Object == "" || o.Property == "" {
+			return 0, fmt.Errorf("observation %d: source, object and property are required", i)
+		}
+		rec := obsRec{src: o.Source, obj: o.Object, prop: o.Property}
+		var f float64
+		var s string
+		if err := json.Unmarshal(o.Value, &f); err == nil {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return 0, fmt.Errorf("observation %d: non-finite value", i)
+			}
+			rec.typ, rec.f = data.Continuous, f
+		} else if err := json.Unmarshal(o.Value, &s); err == nil {
+			rec.typ, rec.cat = data.Categorical, s
+		} else {
+			return 0, fmt.Errorf("observation %d: value must be a JSON number (continuous) or string (categorical)", i)
+		}
+		want, known := e.propSet[rec.prop]
+		if !known {
+			want, known = staged[rec.prop]
+		}
+		if known && want != rec.typ {
+			return 0, fmt.Errorf("observation %d: property %q is %v, got %v value", i, rec.prop, want, rec.typ)
+		}
+		staged[rec.prop] = rec.typ
+		if o.Timestamp != nil {
+			rec.ts, rec.hasTS = *o.Timestamp, true
+		}
+		recs = append(recs, rec)
+	}
+
+	// Pass 2: commit — extend registries, append the log, install the new
+	// snapshot, and advance the incremental processor.
+	for _, rec := range recs {
+		e.internSource(rec.src)
+		e.internProp(rec.prop, rec.typ)
+	}
+	e.log = append(e.log, recs...)
+	old := e.snap.Load()
+	version := old.Version + 1
+	e.snap.Store(e.rebuild(version))
+
+	chunk := e.buildChunk(recs, int(version))
+	truths := e.proc.Process(chunk)
+	weights := e.proc.Weights()
+
+	e.warmMu.Lock()
+	M := chunk.NumProps()
+	for i := 0; i < chunk.NumObjects(); i++ {
+		for m := 0; m < M; m++ {
+			v, ok := truths.GetAt(i, m)
+			if !ok {
+				continue
+			}
+			p := chunk.Prop(m)
+			wv := warmVal{typ: p.Type}
+			if p.Type == data.Categorical {
+				wv.cat = p.CatName(int(v.C))
+			} else {
+				wv.f = v.F
+			}
+			e.warmTruths[warmKey{chunk.ObjectName(i), p.Name}] = wv
+		}
+	}
+	e.warmWeights = weights
+	e.warmSources = append([]string(nil), e.sources...)
+	e.chunks++
+	e.warmMu.Unlock()
+
+	return version, nil
+}
+
+// buildChunk materializes the batch as an I-CRH chunk. All sources and
+// properties known so far are interned first, in global order, so the
+// processor's per-source state stays aligned across chunks (the same
+// contract stream.TSVStream documents). defaultTS stamps observations
+// that carry no explicit timestamp. Caller holds e.mu.
+func (e *entry) buildChunk(recs []obsRec, defaultTS int) *data.Dataset {
+	b := data.NewBuilder()
+	for _, s := range e.sources {
+		b.Source(s)
+	}
+	propIdx := make(map[string]int, len(e.props))
+	for _, p := range e.props {
+		propIdx[p.name] = b.MustProperty(p.name, p.typ)
+	}
+	for _, o := range recs {
+		obj := b.Object(o.obj)
+		ts := defaultTS
+		if o.hasTS {
+			ts = o.ts
+		}
+		b.SetTimestampIdx(obj, ts)
+		pid := propIdx[o.prop]
+		var v data.Value
+		if o.typ == data.Categorical {
+			v = data.Cat(b.CatValue(pid, o.cat))
+		} else {
+			v = data.Float(o.f)
+		}
+		b.ObserveIdx(b.Source(o.src), obj, pid, v)
+	}
+	return b.Build()
+}
+
+// WarmState returns the incremental (I-CRH) truths and per-source weights
+// accumulated by live ingest, without any recomputation: the values are
+// maintained chunk-by-chunk as batches arrive. chunks is the number of
+// batches processed. Weights are keyed by source name.
+func (e *entry) WarmState() (truths []TruthJSON, weights map[string]float64, chunks int) {
+	e.warmMu.RLock()
+	defer e.warmMu.RUnlock()
+	truths = make([]TruthJSON, 0, len(e.warmTruths))
+	for k, v := range e.warmTruths {
+		t := TruthJSON{Object: k.obj, Property: k.prop}
+		if v.typ == data.Categorical {
+			t.Value = v.cat
+		} else {
+			t.Value = v.f
+		}
+		truths = append(truths, t)
+	}
+	sortTruths(truths)
+	weights = make(map[string]float64, len(e.warmWeights))
+	for k, w := range e.warmWeights {
+		if k < len(e.warmSources) {
+			weights[e.warmSources[k]] = w
+		}
+	}
+	return truths, weights, e.chunks
+}
+
+// Get returns the entry for name.
+func (r *Registry) Get(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Delete removes name from the registry. Inflight resolves holding the
+// entry's snapshot finish unaffected.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return false
+	}
+	delete(r.entries, name)
+	return true
+}
+
+// DatasetInfo is the JSON description of one registered dataset.
+type DatasetInfo struct {
+	Name         string `json:"name"`
+	Version      int64  `json:"version"`
+	Sources      int    `json:"sources"`
+	Objects      int    `json:"objects"`
+	Properties   int    `json:"properties"`
+	Observations int    `json:"observations"`
+	HasTruth     bool   `json:"has_ground_truth"`
+	Chunks       int    `json:"chunks_ingested"`
+}
+
+// Info describes the entry's current snapshot.
+func (e *entry) Info() DatasetInfo {
+	s := e.Snapshot()
+	e.warmMu.RLock()
+	chunks := e.chunks
+	e.warmMu.RUnlock()
+	return DatasetInfo{
+		Name:         e.name,
+		Version:      s.Version,
+		Sources:      s.Data.NumSources(),
+		Objects:      s.Data.NumObjects(),
+		Properties:   s.Data.NumProps(),
+		Observations: s.Data.NumObservations(),
+		HasTruth:     s.GT != nil,
+		Chunks:       chunks,
+	}
+}
+
+// List describes every registered dataset, sorted by name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	infos := make([]DatasetInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.Info()
+	}
+	sortInfos(infos)
+	return infos
+}

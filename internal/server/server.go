@@ -1,0 +1,316 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/crhkit/crh/internal/baseline"
+	"github.com/crhkit/crh/internal/core"
+	"github.com/crhkit/crh/internal/data"
+)
+
+// Config tunes a Server. The zero value is usable.
+type Config struct {
+	// CacheCapacity bounds the resolve result LRU (default 128 entries).
+	CacheCapacity int
+	// Decay is the I-CRH decay rate α for warm incremental state
+	// (default 1: retain all history).
+	Decay float64
+}
+
+// Server is the crhd HTTP subsystem: registry + result cache + request
+// coalescing + stats behind a net/http handler. Create with New; safe for
+// concurrent use.
+type Server struct {
+	registry *Registry
+	cache    *resultCache
+	flights  *flightGroup
+	stats    *Stats
+	mux      *http.ServeMux
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 128
+	}
+	if cfg.Decay == 0 {
+		cfg.Decay = 1
+	}
+	s := &Server{
+		registry: NewRegistry(cfg.Decay),
+		cache:    newResultCache(cfg.CacheCapacity),
+		flights:  newFlightGroup(),
+		stats:    NewStats(),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
+	s.mux.HandleFunc("POST /v1/datasets/{name}", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/observations", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/resolve", s.handleResolve)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/incremental", s.handleIncremental)
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the dataset registry (used by crhd for preloading).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Stats exposes the operational counters.
+func (s *Server) Stats() *Stats { return s.stats }
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats.Snapshot(s.cache.len(), s.cache.capacity()))
+}
+
+func (s *Server) handleMethods(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"methods": append([]string{MethodCRH}, baseline.Names()...),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.registry.List()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, err := s.registry.Create(name, r.Body)
+	switch {
+	case errors.Is(err, errExists):
+		writeError(w, http.StatusConflict, "dataset %q already exists", name)
+		return
+	case errors.Is(err, errBadName):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "decode dataset: %v", err)
+		return
+	}
+	s.stats.creates.Add(1)
+	writeJSON(w, http.StatusCreated, e.Info())
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.Info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	}
+	s.stats.deletes.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingestRequest is the JSON body of POST /v1/datasets/{name}/observations.
+type ingestRequest struct {
+	Observations []Observation `json:"observations"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode observations: %v", err)
+		return
+	}
+	version, err := e.Ingest(req.Observations)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	s.stats.ingests.Add(1)
+	s.stats.observations.Add(int64(len(req.Observations)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":  e.name,
+		"version":  version,
+		"ingested": len(req.Observations),
+	})
+}
+
+// resolveEnvelope wraps the shared immutable result with per-request
+// serving metadata.
+type resolveEnvelope struct {
+	// Cached reports an LRU hit; Coalesced that this request shared
+	// another identical inflight request's computation.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	*ResolveResponse
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.stats.resolveLatency.observe(time.Since(t0)) }()
+	s.stats.resolves.Add(1)
+
+	e, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	}
+	req := &ResolveRequest{}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+			writeError(w, http.StatusBadRequest, "decode resolve request: %v", err)
+			return
+		}
+	}
+	req.normalize()
+	method, err := req.validate()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The snapshot pins the dataset version for the whole computation:
+	// concurrent ingest installs new snapshots but never mutates this one.
+	snap := e.Snapshot()
+	key := cacheKey(e.uid, snap.Version, req)
+
+	if resp, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, resolveEnvelope{Cached: true, ResolveResponse: resp})
+		return
+	}
+	s.stats.cacheMisses.Add(1)
+
+	resp, err, shared := s.flights.do(key, func() (*ResolveResponse, error) {
+		resp, err := compute(e.name, snap, req, method)
+		if err == nil {
+			s.cache.add(key, resp)
+		}
+		return resp, err
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "resolve: %v", err)
+		return
+	}
+	if shared {
+		s.stats.coalesceFollowers.Add(1)
+	} else {
+		s.stats.coalesceLeaders.Add(1)
+	}
+	writeJSON(w, http.StatusOK, resolveEnvelope{Coalesced: shared, ResolveResponse: resp})
+}
+
+// compute runs the requested method on a pinned snapshot and shapes the
+// response. It holds no locks — the snapshot is immutable.
+func compute(name string, snap *Snapshot, req *ResolveRequest, method baseline.Method) (*ResolveResponse, error) {
+	resp := &ResolveResponse{Dataset: name, Version: snap.Version, Method: req.Method}
+	d := snap.Data
+	var truths *data.Table
+	var weights []float64
+	if method != nil {
+		truths, weights = method.Resolve(d)
+	} else {
+		cfg, err := req.Options.build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		truths, weights = res.Truths, res.Weights
+		converged := res.Converged
+		resp.Converged = &converged
+		resp.Iterations = res.Iterations
+		if req.Options.Confidence {
+			resp.Truths = truthsJSON(d, truths, res.Confidence)
+		}
+	}
+	if resp.Truths == nil {
+		resp.Truths = truthsJSON(d, truths, nil)
+	}
+	if weights != nil {
+		resp.Weights = make(map[string]float64, d.NumSources())
+		for k := 0; k < d.NumSources() && k < len(weights); k++ {
+			resp.Weights[d.SourceName(k)] = weights[k]
+		}
+	}
+	return resp, nil
+}
+
+// truthsJSON flattens a truth table into the response shape, in object
+// then property order. confidence may be nil.
+func truthsJSON(d *data.Dataset, t *data.Table, confidence []float64) []TruthJSON {
+	out := make([]TruthJSON, 0, t.Count())
+	for i := 0; i < d.NumObjects(); i++ {
+		for m := 0; m < d.NumProps(); m++ {
+			v, ok := t.GetAt(i, m)
+			if !ok {
+				continue
+			}
+			p := d.Prop(m)
+			tj := TruthJSON{Object: d.ObjectName(i), Property: p.Name}
+			if p.Type == data.Categorical {
+				tj.Value = p.CatName(int(v.C))
+			} else {
+				tj.Value = v.F
+			}
+			if confidence != nil {
+				c := confidence[d.Entry(i, m)]
+				tj.Confidence = &c
+			}
+			out = append(out, tj)
+		}
+	}
+	return out
+}
+
+func (s *Server) handleIncremental(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	}
+	truths, weights, chunks := e.WarmState()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": e.name,
+		"version": e.Snapshot().Version,
+		"chunks":  chunks,
+		"truths":  truths,
+		"weights": weights,
+	})
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMs are the upper bounds (milliseconds, inclusive) of the
+// resolve-latency histogram buckets; a final implicit +Inf bucket catches
+// the rest. Roughly logarithmic, spanning cache hits (~µs) to multi-second
+// full resolves.
+var latencyBoundsMs = [...]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// histogram is a fixed-bucket latency histogram with atomic counters —
+// safe for concurrent observation without locks. The extra bucket is the
+// +Inf overflow.
+type histogram struct {
+	counts [len(latencyBoundsMs) + 1]atomic.Int64
+	count  atomic.Int64
+	sumUs  atomic.Int64 // total microseconds, integer so it can be atomic
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(d.Microseconds())
+}
+
+// HistogramSnapshot is the JSON shape of a histogram: cumulative bucket
+// counts keyed by upper bound, plus totals.
+type HistogramSnapshot struct {
+	// Buckets[i] counts observations ≤ BoundsMs[i]; the last element of
+	// Buckets (one longer than BoundsMs) counts the +Inf overflow.
+	BoundsMs []float64 `json:"bounds_ms"`
+	Buckets  []int64   `json:"buckets"`
+	Count    int64     `json:"count"`
+	SumMs    float64   `json:"sum_ms"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		BoundsMs: latencyBoundsMs[:],
+		Buckets:  make([]int64, len(h.counts)),
+		Count:    h.count.Load(),
+		SumMs:    float64(h.sumUs.Load()) / 1e3,
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Stats aggregates the server's operational counters. All fields are
+// updated atomically; Snapshot may be called at any time.
+type Stats struct {
+	start time.Time
+
+	resolves     atomic.Int64
+	ingests      atomic.Int64
+	observations atomic.Int64
+	creates      atomic.Int64
+	deletes      atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	coalesceLeaders   atomic.Int64
+	coalesceFollowers atomic.Int64
+
+	resolveLatency histogram
+}
+
+// NewStats returns a zeroed Stats anchored at the current time.
+func NewStats() *Stats { return &Stats{start: time.Now()} }
+
+// StatsSnapshot is the JSON document served by GET /v1/stats.
+type StatsSnapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Requests struct {
+		Resolves     int64 `json:"resolves"`
+		Ingests      int64 `json:"ingests"`
+		Observations int64 `json:"observations"`
+		Creates      int64 `json:"creates"`
+		Deletes      int64 `json:"deletes"`
+	} `json:"requests"`
+
+	Cache struct {
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		HitRate  float64 `json:"hit_rate"`
+		Size     int     `json:"size"`
+		Capacity int     `json:"capacity"`
+	} `json:"cache"`
+
+	Coalesce struct {
+		// Leaders is the number of resolves that actually computed;
+		// Followers the number that piggybacked on an identical inflight
+		// computation.
+		Leaders   int64 `json:"leaders"`
+		Followers int64 `json:"followers"`
+	} `json:"coalesce"`
+
+	ResolveLatency HistogramSnapshot `json:"resolve_latency"`
+}
+
+// Snapshot captures the current counters. cacheSize/cacheCap describe the
+// result cache, which Stats does not own.
+func (s *Stats) Snapshot(cacheSize, cacheCap int) StatsSnapshot {
+	var out StatsSnapshot
+	out.UptimeSeconds = time.Since(s.start).Seconds()
+	out.Requests.Resolves = s.resolves.Load()
+	out.Requests.Ingests = s.ingests.Load()
+	out.Requests.Observations = s.observations.Load()
+	out.Requests.Creates = s.creates.Load()
+	out.Requests.Deletes = s.deletes.Load()
+	out.Cache.Hits = s.cacheHits.Load()
+	out.Cache.Misses = s.cacheMisses.Load()
+	if total := out.Cache.Hits + out.Cache.Misses; total > 0 {
+		out.Cache.HitRate = float64(out.Cache.Hits) / float64(total)
+	}
+	out.Cache.Size = cacheSize
+	out.Cache.Capacity = cacheCap
+	out.Coalesce.Leaders = s.coalesceLeaders.Load()
+	out.Coalesce.Followers = s.coalesceFollowers.Load()
+	out.ResolveLatency = s.resolveLatency.snapshot()
+	return out
+}

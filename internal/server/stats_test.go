@@ -1,0 +1,79 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.observe(50 * time.Microsecond)   // ≤ 0.1ms  -> bucket 0
+	h.observe(200 * time.Microsecond)  // ≤ 0.25ms -> bucket 1
+	h.observe(3 * time.Millisecond)    // ≤ 5ms    -> bucket 5
+	h.observe(10 * time.Second)        // overflow -> last bucket
+	s := h.snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if len(s.Buckets) != len(s.BoundsMs)+1 {
+		t.Fatalf("%d buckets for %d bounds", len(s.Buckets), len(s.BoundsMs))
+	}
+	for i, want := range map[int]int64{0: 1, 1: 1, 5: 1, len(s.Buckets) - 1: 1} {
+		if s.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], want, s.Buckets)
+		}
+	}
+	if s.SumMs < 10003 || s.SumMs > 10004 {
+		t.Errorf("sum_ms = %v, want ≈10003.25", s.SumMs)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	s := NewStats()
+	s.resolves.Add(5)
+	s.cacheHits.Add(3)
+	s.cacheMisses.Add(1)
+	s.coalesceLeaders.Add(1)
+	s.coalesceFollowers.Add(2)
+	snap := s.Snapshot(7, 128)
+	if snap.Requests.Resolves != 5 {
+		t.Errorf("resolves = %d", snap.Requests.Resolves)
+	}
+	if snap.Cache.HitRate != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", snap.Cache.HitRate)
+	}
+	if snap.Cache.Size != 7 || snap.Cache.Capacity != 128 {
+		t.Errorf("cache size/cap = %d/%d", snap.Cache.Size, snap.Cache.Capacity)
+	}
+	if snap.Coalesce.Leaders != 1 || snap.Coalesce.Followers != 2 {
+		t.Errorf("coalesce = %+v", snap.Coalesce)
+	}
+	if snap.UptimeSeconds < 0 {
+		t.Errorf("uptime negative")
+	}
+}
+
+// TestStatsConcurrent verifies atomic counters under -race.
+func TestStatsConcurrent(t *testing.T) {
+	s := NewStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.resolves.Add(1)
+				s.resolveLatency.observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot(0, 0)
+	if snap.Requests.Resolves != 8000 {
+		t.Fatalf("resolves = %d, want 8000", snap.Requests.Resolves)
+	}
+	if snap.ResolveLatency.Count != 8000 {
+		t.Fatalf("latency count = %d, want 8000", snap.ResolveLatency.Count)
+	}
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"github.com/crhkit/crh/internal/core"
@@ -261,6 +262,103 @@ func TestHistoryIsolated(t *testing.T) {
 	for k := range h0 {
 		if res.History[0][k] != h0[k] {
 			t.Fatal("history snapshots alias each other")
+		}
+	}
+}
+
+// TestProcessorConcurrentAppendQuery exercises the incremental path the
+// way crhd's registry drives it: one mutex serializes Process (append)
+// while concurrent readers take snapshots of Weights/History/Chunks
+// between chunks. Run with -race, this pins down the locking contract a
+// concurrent server must follow, and the final state must be identical to
+// a purely sequential run over the same chunks.
+func TestProcessorConcurrentAppendQuery(t *testing.T) {
+	d, _ := weatherData(t)
+	chunks, err := ChunksByWindow(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: sequential processing.
+	ref := NewProcessor(d.NumSources(), Config{})
+	var refTruths []*data.Table
+	for _, ch := range chunks {
+		refTruths = append(refTruths, ref.Process(ch.Data))
+	}
+
+	// Concurrent: a single writer appends chunks under mu while readers
+	// query under the same lock (RWMutex, as the server does).
+	proc := NewProcessor(d.NumSources(), Config{})
+	var mu sync.RWMutex
+	var truths []*data.Table
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, ch := range chunks {
+			mu.Lock()
+			truths = append(truths, proc.Process(ch.Data))
+			mu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				mu.RLock()
+				w := proc.Weights()
+				n := proc.Chunks()
+				h := proc.History()
+				mu.RUnlock()
+				if len(w) != d.NumSources() {
+					t.Errorf("snapshot has %d weights, want %d", len(w), d.NumSources())
+					return
+				}
+				if len(h) != n {
+					t.Errorf("history has %d rows after %d chunks", len(h), n)
+					return
+				}
+				for _, x := range w {
+					if math.IsNaN(x) {
+						t.Error("NaN weight observed mid-stream")
+						return
+					}
+				}
+			}
+		}()
+	}
+	<-done
+	wg.Wait()
+
+	// The concurrent run must be bit-identical to the sequential one.
+	if proc.Chunks() != ref.Chunks() {
+		t.Fatalf("processed %d chunks, want %d", proc.Chunks(), ref.Chunks())
+	}
+	refW, gotW := ref.Weights(), proc.Weights()
+	for k := range refW {
+		if refW[k] != gotW[k] {
+			t.Fatalf("weight %d = %v, want %v", k, gotW[k], refW[k])
+		}
+	}
+	for i := range refTruths {
+		want, got := refTruths[i], truths[i]
+		if want.Count() != got.Count() {
+			t.Fatalf("chunk %d: %d truths, want %d", i, got.Count(), want.Count())
+		}
+		for e := 0; e < want.Len(); e++ {
+			wv, wok := want.Get(e)
+			gv, gok := got.Get(e)
+			p := chunks[i].Data.Prop(chunks[i].Data.EntryProp(e))
+			if wok != gok || (wok && !wv.Equal(gv, p.Type)) {
+				t.Fatalf("chunk %d entry %d differs", i, e)
+			}
 		}
 	}
 }
