@@ -1,14 +1,18 @@
 # Tier-1 gate: everything a PR must keep green.
-#   make check     build + vet + tests with the race detector
+#   make check     build + vet + lint + tests with the race detector
+#   make lint      project-specific static analysis (cmd/crhlint)
 #   make test      fast test run (no race detector)
 #   make bench     all benchmarks
 #   make crhd      build the truth-discovery server binary
 
 GO ?= go
 
-.PHONY: check build vet test race bench crhd clean
+.PHONY: check build vet lint test race bench crhd clean
 
-check: build vet race
+check: build vet lint race
+
+lint:
+	$(GO) run ./cmd/crhlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,66 @@
+// Command crhlint runs the repository's project-specific static
+// analysis suite (internal/lint): the numeric, determinism, layering,
+// dependency, and documentation invariants that go vet and the race
+// detector do not check.
+//
+// Usage:
+//
+//	crhlint [-list] [-dir d] [packages]
+//
+// Packages default to ./... resolved against -dir (default "."), which
+// must lie inside a Go module. Patterns follow the go tool's shape:
+// ./... walks everything, sub/... walks a subtree, anything else names
+// one directory. Diagnostics print one per line as
+//
+//	file:line: [analyzer] message
+//
+// and the exit status is 1 when any finding survives suppression, 2 on
+// usage or load errors, 0 otherwise. Findings are suppressed in place
+// with //lint:ignore <analyzer> <reason>; see docs/LINT.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/crhkit/crh/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crhlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list = fs.Bool("list", false, "print the registered analyzers with their one-line docs and exit")
+		dir  = fs.String("dir", ".", "directory to resolve package patterns against (must be inside a module)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	pkgs, err := lint.Load(*dir, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "crhlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "crhlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestSmokeFindings drives the real entry point against a module with a
+// known floatcmp violation: exit status 1, one diagnostic per line in
+// the file:line: [analyzer] message shape, and a finding count on
+// stderr.
+func TestSmokeFindings(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/smoke\n\ngo 1.22\n",
+		"eq.go": `// Package smoke is a crhlint smoke-test fixture.
+package smoke
+
+// Same reports whether a equals b.
+func Same(a, b float64) bool { return a == b }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("stdout = %d diagnostics, want 1:\n%s", len(lines), &stdout)
+	}
+	re := regexp.MustCompile(`^.*eq\.go:5: \[floatcmp\] floating-point == comparison`)
+	if !re.MatchString(lines[0]) {
+		t.Errorf("diagnostic %q does not match %v", lines[0], re)
+	}
+	if !strings.Contains(stderr.String(), "crhlint: 1 finding(s)") {
+		t.Errorf("stderr %q lacks the finding count", stderr.String())
+	}
+}
+
+// TestSmokeClean exits 0 with no output on a module with nothing to
+// report.
+func TestSmokeClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/clean\n\ngo 1.22\n",
+		"ok.go": `// Package clean is a crhlint smoke-test fixture.
+package clean
+
+// Half halves x.
+func Half(x float64) float64 { return x / 2 }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-dir", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 || stderr.Len() != 0 {
+		t.Errorf("clean run produced output\nstdout:\n%s\nstderr:\n%s", &stdout, &stderr)
+	}
+}
+
+// TestSmokeList pins -list: every registered analyzer appears with a
+// doc line, and nothing is loaded or linted.
+func TestSmokeList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	for _, name := range []string{"floatcmp", "globalrand", "layering", "stdlibonly", "exporteddoc", "directive"} {
+		re := regexp.MustCompile(`(?m)^` + name + `\s+\S`)
+		if !re.MatchString(out) {
+			t.Errorf("-list output lacks analyzer %q with a doc:\n%s", name, out)
+		}
+	}
+}
+
+// TestSmokeBadUsage exits 2 on a bad flag and on a directory outside
+// any module.
+func TestSmokeBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit code = %d, want 2", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-dir", t.TempDir()}, &stdout, &stderr); code != 2 {
+		t.Errorf("no module: exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "crhlint:") {
+		t.Errorf("load error not reported on stderr: %q", stderr.String())
+	}
+}

@@ -1,6 +1,7 @@
-// Server example: truth discovery as a service. Starts the crhd HTTP
-// subsystem in-process on an ephemeral port, then drives it as a client
-// would:
+// Server example: truth discovery as a service. Launches the crhd
+// binary (via go run) on an ephemeral port — the server subsystem is
+// private to cmd/crhd, so clients, this example included, speak only its
+// HTTP API — then drives it as a client would:
 //
 //  1. create a dataset from the TSV codec format,
 //  2. resolve it with CRH and with a baseline,
@@ -17,16 +18,17 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/http"
+	"os"
+	"os/exec"
 	"strings"
 	"sync"
-
-	"github.com/crhkit/crh/internal/server"
+	"time"
 )
 
 const weatherTSV = `P	high_temp	continuous
@@ -46,14 +48,18 @@ V	bos/07-01	condition	accuview	storm
 `
 
 func main() {
-	// 0. Boot the server subsystem on an ephemeral port.
-	srv := server.New(server.Config{CacheCapacity: 64, Decay: 0.9})
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// 0. Boot crhd on an ephemeral port and wait for its listen line.
+	cmd := exec.Command("go", "run", "github.com/crhkit/crh/cmd/crhd",
+		"-addr", "127.0.0.1:0", "-cache", "64", "-decay", "0.9")
+	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, srv.Handler())
-	base := "http://" + ln.Addr().String()
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer stop(cmd)
+	base := awaitListen(stderr)
 	fmt.Println("crhd serving on", base)
 
 	// 1. Create a dataset from the TSV codec.
@@ -99,6 +105,38 @@ func main() {
 	// 5. Operational stats.
 	fmt.Println("\n-- /v1/stats")
 	show(get(base + "/v1/stats"))
+}
+
+// awaitListen scans crhd's stderr for the listen line, returns the base
+// URL, and keeps draining the pipe in the background.
+func awaitListen(stderr io.Reader) string {
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "crhd: listening on "); ok {
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return "http://" + strings.TrimSpace(addr)
+		}
+	}
+	log.Fatalf("crhd exited before listening (is the go tool on PATH?): %v", sc.Err())
+	return ""
+}
+
+// stop shuts crhd down: interrupt (which go run forwards) for a
+// graceful exit, then a hard kill if it lingers.
+func stop(cmd *exec.Cmd) {
+	_ = cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { _ = cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		_ = cmd.Process.Kill()
+		<-done
+	}
 }
 
 func get(url string) []byte {

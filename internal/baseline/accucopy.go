@@ -61,10 +61,10 @@ type AccuCopy struct {
 	Rho float64
 	// InitAccuracy seeds A(s) (default 0.8).
 	InitAccuracy float64
-	// Iters bounds the rounds (default 15); Tol stops early (default
-	// 1e-6).
+	// Iters bounds the rounds (default 15).
 	Iters int
-	Tol   float64
+	// Tol stops early when accuracies stabilize (default 1e-6).
+	Tol float64
 }
 
 // Name implements Method.
@@ -215,6 +215,7 @@ func (v AccuCopy) Resolve(d *data.Dataset) (*data.Table, []float64) {
 				// first so copies discount against originals.
 				order := append([]int(nil), srcs...)
 				sort.Slice(order, func(x, y int) bool {
+					//lint:ignore floatcmp a tolerance here would break the comparator's strict weak ordering
 					if acc[order[x]] != acc[order[y]] {
 						return acc[order[x]] > acc[order[y]]
 					}

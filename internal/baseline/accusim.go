@@ -32,10 +32,10 @@ type AccuSim struct {
 	Rho float64
 	// InitAccuracy seeds A(s) (default 0.8).
 	InitAccuracy float64
-	// Iters bounds the rounds (default 20); Tol stops early (default
-	// 1e-6).
+	// Iters bounds the rounds (default 20).
 	Iters int
-	Tol   float64
+	// Tol stops early when accuracies stabilize (default 1e-6).
+	Tol float64
 }
 
 // Name implements Method.

@@ -32,7 +32,11 @@ import (
 // method estimates them (nil otherwise). Methods are unsupervised — they
 // never see ground truth.
 type Method interface {
+	// Name returns the method's registry name, e.g. "Voting" or
+	// "TruthFinder" — the string accepted by ByName and the CLIs.
 	Name() string
+	// Resolve maps the dataset to a truth table plus per-source
+	// reliability scores (nil when the method estimates none).
 	Resolve(d *data.Dataset) (*data.Table, []float64)
 }
 

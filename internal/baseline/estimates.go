@@ -19,10 +19,10 @@ import (
 // affinely rescaled onto [0, 1] every round, which they show is required
 // for convergence away from degenerate fixed points.
 type TwoEstimates struct {
-	// Iters bounds the rounds (default 20); Tol stops early when source
-	// errors stabilize (default 1e-6).
+	// Iters bounds the rounds (default 20).
 	Iters int
-	Tol   float64
+	// Tol stops early when source errors stabilize (default 1e-6).
+	Tol float64
 }
 
 // Name implements Method.
@@ -45,10 +45,10 @@ func (v TwoEstimates) Resolve(d *data.Dataset) (*data.Table, []float64) {
 // with all three estimate vectors λ-normalized onto [0, 1] each round and
 // denominators floored to keep the updates finite.
 type ThreeEstimates struct {
-	// Iters bounds the rounds (default 20); Tol stops early (default
-	// 1e-6).
+	// Iters bounds the rounds (default 20).
 	Iters int
-	Tol   float64
+	// Tol stops early when the estimates stabilize (default 1e-6).
+	Tol float64
 }
 
 // Name implements Method.

@@ -31,10 +31,10 @@ type TruthFinder struct {
 	Base float64
 	// InitTrust is the initial source trustworthiness (default 0.9).
 	InitTrust float64
-	// Iters bounds the rounds (default 20); Tol stops early when trust
-	// stabilizes (default 1e-6).
+	// Iters bounds the rounds (default 20).
 	Iters int
-	Tol   float64
+	// Tol stops early when trust stabilizes (default 1e-6).
+	Tol float64
 }
 
 // Name implements Method.

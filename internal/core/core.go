@@ -197,7 +197,7 @@ func Run(d *data.Dataset, cfg Config) (*Result, error) {
 		obj := s.objective()
 		res.Objective = append(res.Objective, obj)
 		res.Iterations = it + 1
-		if prevObj != math.Inf(1) {
+		if !math.IsInf(prevObj, 1) {
 			denom := math.Abs(prevObj)
 			if denom < 1e-12 {
 				denom = 1e-12

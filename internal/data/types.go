@@ -64,6 +64,7 @@ func (v Value) Equal(o Value, t Type) bool {
 	if t == Categorical {
 		return v.C == o.C
 	}
+	//lint:ignore floatcmp Equal is claim identity — distinct observed values must stay distinct facts
 	return v.F == o.F
 }
 

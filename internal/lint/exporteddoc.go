@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// exportedDocScope lists the module-relative directories whose exported
+// surface must be fully documented: the public root package, the server
+// options/config surface, and the baseline method registry. These are
+// the packages whose identifiers users and the HTTP API's JSON shapes
+// are built against.
+var exportedDocScope = []string{"", "internal/server", "internal/baseline"}
+
+// ExportedDoc flags undocumented exported identifiers in the public
+// root package, internal/server, and internal/baseline: package-level
+// functions, methods, types, consts and vars, struct fields, and
+// interface methods. A const/var group's doc comment covers its
+// members; a struct field or interface method may use a trailing line
+// comment instead of a doc comment.
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc:  "flag undocumented exported identifiers on the public API and server/baseline surfaces",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(pass *Pass) {
+	if pass.Pkg.ForTest || !inScope(pass.Pkg.RelPath) {
+		return
+	}
+	hasPkgDoc := false
+	for _, f := range pass.Pkg.Files {
+		if !pass.Pkg.IsTestFile(f) && f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	for i, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		if i == 0 && !hasPkgDoc {
+			pass.Reportf(f.Package, "package %s has no package doc comment", f.Name.Name)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+}
+
+// inScope reports whether the module-relative directory is one the
+// analyzer covers.
+func inScope(rel string) bool {
+	for _, s := range exportedDocScope {
+		if rel == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFuncDoc flags undocumented exported functions and methods on
+// exported receivers.
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	if d.Recv != nil {
+		recv := receiverName(d.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		pass.Reportf(d.Name.Pos(), "exported method %s.%s has no doc comment", recv, d.Name.Name)
+		return
+	}
+	pass.Reportf(d.Name.Pos(), "exported function %s has no doc comment", d.Name.Name)
+}
+
+// receiverName returns the base type name of a method receiver.
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkGenDoc flags undocumented exported types, consts, and vars, plus
+// the fields and interface methods of exported types.
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc == nil && d.Doc == nil {
+				pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				checkFieldDocs(pass, s.Name.Name, t.Fields, "field")
+			case *ast.InterfaceType:
+				checkFieldDocs(pass, s.Name.Name, t.Methods, "method")
+			}
+		case *ast.ValueSpec:
+			kind := "var"
+			if d.Tok == token.CONST {
+				kind = "const"
+			}
+			if s.Doc != nil || s.Comment != nil || d.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported %s %s has no doc comment", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFieldDocs flags undocumented exported struct fields or interface
+// methods of an exported type. Embedded fields are exempt — their docs
+// live on their own type.
+func checkFieldDocs(pass *Pass, typeName string, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(), "exported %s %s.%s has no doc comment", kind, typeName, name.Name)
+			}
+		}
+	}
+}

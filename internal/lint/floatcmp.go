@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands in non-test
+// code. CRH's convergence checks and loss functions live and die by
+// tolerances: the paper's iteration counts and accuracy tables
+// reproduce only while "has the objective stopped moving" is an epsilon
+// question, never an exact-bits question. Exact float equality also
+// breaks silently under the float rounding that Config.Parallelism
+// documents for summation order.
+//
+// Allowed: comparisons against a literal 0 — the x == 0 division/
+// degenerate-input guard is exact by design (0 is the only float a sum
+// of zero terms can be), and the stats package leans on it throughout.
+// Intentional exact comparisons elsewhere (e.g. tie grouping over
+// observed values) take a reasoned //lint:ignore floatcmp.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands outside tests (0-literal guards excepted)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Pkg.TypesInfo, be.X) && !isFloat(pass.Pkg.TypesInfo, be.Y) {
+				return true
+			}
+			if isLiteralZero(pass.Pkg.TypesInfo, be.X) || isLiteralZero(pass.Pkg.TypesInfo, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use stats.ApproxEq or an explicit tolerance", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e's type is (or aliases) a floating-point or
+// complex type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isLiteralZero reports whether e is a constant expression with the
+// exact value 0 — the division-guard idiom the analyzer permits.
+func isLiteralZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

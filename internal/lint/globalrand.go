@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandAllowed lists the math/rand package-level functions that do
+// not touch the global generator: the constructors a seeded *rand.Rand
+// is built from.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// GlobalRand flags calls to math/rand's global (package-level) functions
+// in non-test code. The global generator is process-shared mutable
+// state: any library path drawing from it makes results depend on what
+// else ran first, which destroys the run-to-run determinism the
+// experiment tables (and the registry's cache keys) rely on. All
+// randomness must flow through an explicitly seeded *rand.Rand threaded
+// from the caller; the rand.New/rand.NewSource constructors are allowed
+// since they are how such a generator is built.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flag math/rand global-generator calls outside tests; randomness must use a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true // type or var reference (rand.Rand, rand.Source)
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s uses the global generator; thread an explicitly seeded *rand.Rand instead", id.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

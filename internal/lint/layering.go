@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// layerRule forbids packages under each From prefix from importing
+// packages under any Forbidden prefix. Prefixes are module-relative
+// directories.
+type layerRule struct {
+	From      []string
+	Forbidden []string
+	Why       string
+}
+
+// layerRules is the repository's import DAG, mirrored in docs/LINT.md
+// and DESIGN.md. The numeric substrate must stay below the solver and
+// service layers, and the server subsystem stays private to its binary.
+var layerRules = []layerRule{
+	{
+		From:      []string{"internal/stats", "internal/loss", "internal/data"},
+		Forbidden: []string{"internal/core", "internal/server", "internal/experiments"},
+		Why:       "the numeric substrate must not depend on the solver, server, or experiment layers",
+	},
+}
+
+// serverDir is the subsystem only its binary may import.
+const serverDir = "internal/server"
+
+// serverImporters lists the module-relative directories allowed to
+// import internal/server: the subsystem itself and the crhd binary
+// (tests included — test files share their directory's privilege).
+var serverImporters = []string{serverDir, "cmd/crhd"}
+
+// Layering enforces the repository's import DAG: internal/{stats,loss,
+// data} must not import internal/{core,server,experiments}, and nothing
+// outside cmd/crhd (and its tests) imports internal/server. The
+// layering is what lets the numeric substrate be tested, fuzzed, and
+// reused in isolation, and keeps every consumer of the server behind
+// its HTTP surface.
+var Layering = &Analyzer{
+	Name: "layering",
+	Doc:  "enforce the import DAG: substrate below solver/server; internal/server private to cmd/crhd",
+	Run:  runLayering,
+}
+
+func runLayering(pass *Pass) {
+	rel := pass.Pkg.RelPath
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			target, ok := moduleRel(pass.Pkg, path)
+			if !ok {
+				continue
+			}
+			for _, rule := range layerRules {
+				if underAny(rel, rule.From) && underAny(target, rule.Forbidden) {
+					pass.Reportf(imp.Pos(), "%s must not import %s: %s", rel, target, rule.Why)
+				}
+			}
+			if underAny(target, []string{serverDir}) && !underAny(rel, serverImporters) {
+				from := rel
+				if from == "" {
+					from = "the root package"
+				}
+				pass.Reportf(imp.Pos(), "%s must not import %s: the server subsystem is private to cmd/crhd; use the HTTP API", from, serverDir)
+			}
+		}
+	}
+}
+
+// moduleRel converts an import path to a module-relative directory,
+// reporting false for imports outside the module.
+func moduleRel(pkg *Package, path string) (string, bool) {
+	if path == pkg.Module.Path {
+		return "", true
+	}
+	rest, ok := strings.CutPrefix(path, pkg.Module.Path+"/")
+	return rest, ok
+}
+
+// underAny reports whether dir equals, or lies under, any prefix.
+func underAny(dir string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if dir == p || strings.HasPrefix(dir, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+// Package lint is crhkit's project-specific static-analysis framework:
+// a small, stdlib-only (go/ast, go/parser, go/types, go/token — no
+// golang.org/x/tools) analysis driver plus the analyzers that machine-check
+// the invariants this repository's correctness rests on.
+//
+// CRH's numbers are only reproducible while a set of fragile conventions
+// hold: convergence and loss code must never compare floats with == (the
+// paper's tables shift when a tolerance silently becomes exact equality),
+// library randomness must flow through explicitly seeded *rand.Rand values,
+// the import DAG must keep the numeric substrate (stats, loss, data) below
+// the solver and server layers, and the module must stay dependency-free.
+// Neither go vet nor the race detector checks any of these; this package
+// does, on every PR, via cmd/crhlint.
+//
+// # Analyzers
+//
+// Call Analyzers for the registered suite. Each analyzer inspects one
+// loaded package at a time and reports diagnostics; the driver in
+// cmd/crhlint renders them as "file:line: [analyzer] message" and exits
+// non-zero when any survive suppression.
+//
+// # Suppressing a finding
+//
+// A finding that is intentional — e.g. an exact float comparison that
+// groups identical observed values — is silenced in place:
+//
+//	//lint:ignore floatcmp exact tie grouping over observed values
+//	for j < n && ps[j].x == ps[i].x {
+//
+// The directive names one analyzer and must carry a non-empty reason. It
+// applies to findings on its own line (trailing comment) or, when it
+// stands alone on a line, to the line below. The directive analyzer
+// flags malformed or unused suppressions, so stale ignores cannot
+// accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named check. Run inspects a single loaded package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description, shown by crhlint -list.
+	Doc string
+	// Run executes the analyzer over pass.Pkg.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer's view of one package plus the reporting
+// sink.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// report receives diagnostics.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: a position, the analyzer that produced
+// it, and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical crhlint format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the registered suite in reporting order. The slice is
+// freshly allocated; callers may filter it.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		GlobalRand,
+		Layering,
+		StdlibOnly,
+		ExportedDoc,
+		Directive,
+	}
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run executes the given analyzers over the given packages and returns
+// the surviving diagnostics sorted by position: findings silenced by a
+// well-formed //lint:ignore directive are dropped, and malformed or
+// unused directives are reported through the directive analyzer. Run is
+// deterministic: same packages, same analyzers, same output.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := newSuppressions(pkgs)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil { // the directive analyzer runs in the driver below
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+				if sup.suppressed(d) {
+					return
+				}
+				diags = append(diags, d)
+			}}
+			a.Run(pass)
+		}
+	}
+	for _, a := range analyzers {
+		if a == Directive {
+			diags = append(diags, sup.problems()...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted expectation patterns from a want comment:
+//
+//	a == b // want "floating-point == comparison"
+//	/* want "unused suppression" */ //lint:ignore floatcmp reason
+//
+// Patterns may be double- or backtick-quoted (backticks let a pattern
+// contain double quotes). Multiple patterns on one comment expect
+// multiple diagnostics on that line. An optional offset, want+N, moves
+// the expectation N lines below the comment — needed where a trailing
+// comment on the flagged line would itself count as documentation.
+var wantRe = regexp.MustCompile("want(\\+\\d+)?\\s+((?:(?:\"[^\"]*\"|`[^`]*`)\\s*)+)")
+
+var quotedRe = regexp.MustCompile("\"([^\"]*)\"|`([^`]*)`")
+
+// goldenWants collects the want expectations of every file in pkgs,
+// keyed by file:line.
+func goldenWants(t *testing.T, pkgs []*Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					line := pos.Line
+					if m[1] != "" {
+						n, err := strconv.Atoi(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want offset %q", pos.Filename, line, m[1])
+						}
+						line += n
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					for _, q := range quotedRe.FindAllStringSubmatch(m[2], -1) {
+						pat := q[1]
+						if pat == "" {
+							pat = q[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], re)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads the testdata module under testdata/src/<dir>, runs the
+// named analyzers over it, and checks the diagnostics against the
+// files' want comments: every diagnostic must match a want on its line,
+// and every want must be matched by exactly one diagnostic.
+func runGolden(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", "src", dir), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under testdata/src/%s", dir)
+	}
+	wants := goldenWants(t, pkgs)
+	matched := map[string][]bool{}
+	for _, d := range Run(pkgs, analyzers) {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		res, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		if matched[key] == nil {
+			matched[key] = make([]bool, len(res))
+		}
+		found := false
+		for i, re := range res {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("diagnostic does not match any want on its line: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if matched[key] == nil || !matched[key][i] {
+				t.Errorf("%s: want %q matched no diagnostic", key, re)
+			}
+		}
+	}
+}
+
+func TestFloatCmpGolden(t *testing.T)    { runGolden(t, "floatcmp", FloatCmp) }
+func TestGlobalRandGolden(t *testing.T)  { runGolden(t, "globalrand", GlobalRand) }
+func TestLayeringGolden(t *testing.T)    { runGolden(t, "layering", Layering) }
+func TestStdlibOnlyGolden(t *testing.T)  { runGolden(t, "stdlibonly", StdlibOnly) }
+func TestExportedDocGolden(t *testing.T) { runGolden(t, "exporteddoc", ExportedDoc) }
+func TestDirectiveGolden(t *testing.T)   { runGolden(t, "directive", FloatCmp, Directive) }
+
+// TestSuppression proves //lint:ignore silences a finding end to end:
+// the suppress module contains real floatcmp violations, every one
+// covered by a reasoned directive, so the full suite reports nothing.
+func TestSuppression(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "suppress"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("suppressed module produced a diagnostic: %s", d)
+	}
+}
+
+// TestDiagnosticFormat pins the file:line: [analyzer] message rendering
+// the Makefile and editors rely on.
+func TestDiagnosticFormat(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "floatcmp"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []*Analyzer{FloatCmp})
+	if len(diags) == 0 {
+		t.Fatal("expected findings in the floatcmp module")
+	}
+	s := diags[0].String()
+	re := regexp.MustCompile(`^.+\.go:\d+: \[floatcmp\] .+$`)
+	if !re.MatchString(s) {
+		t.Errorf("diagnostic %q does not match file:line: [analyzer] message", s)
+	}
+	if !strings.Contains(s, filepath.Join("testdata", "src", "floatcmp")) {
+		t.Errorf("diagnostic %q does not carry the file path", s)
+	}
+}
+
+// TestAnalyzersRegistered pins the registry: the issue's five project
+// analyzers plus the directive validator, each with a one-line doc.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := []string{"floatcmp", "globalrand", "layering", "stdlibonly", "exporteddoc", "directive"}
+	as := Analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))
+	}
+	for i, name := range want {
+		if as[i].Name != name {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, as[i].Name, name)
+		}
+		if as[i].Doc == "" {
+			t.Errorf("analyzer %q has no doc", as[i].Name)
+		}
+		if ByName(name) != as[i] {
+			t.Errorf("ByName(%q) did not return the registered analyzer", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName of an unknown analyzer should be nil")
+	}
+}
+
+// TestSelfClean runs the full suite over this repository: the tree must
+// stay free of findings, with every intentional exception carrying a
+// reasoned, non-stale //lint:ignore. This is the machine-checked form of
+// the acceptance criterion "crhlint ./... runs clean".
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("repository finding: %s", d)
+	}
+}

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Module locates the go.mod that governs the packages under analysis.
+type Module struct {
+	// Path is the module path declared by go.mod.
+	Path string
+	// Dir is the directory containing go.mod.
+	Dir string
+}
+
+// FindModule walks upward from dir to the nearest go.mod and returns the
+// module it declares.
+func FindModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path := modulePath(string(data))
+			if path == "" {
+				return nil, fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return &Module{Path: path, Dir: d}, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// A Package is one type-checked unit of analysis: the non-test and
+// in-package test files of a directory, or the external (_test package)
+// test files of a directory.
+type Package struct {
+	// Module is the module the package belongs to.
+	Module *Module
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// RelPath is the module-relative directory ("" for the module root).
+	RelPath string
+	// Dir is the absolute directory.
+	Dir string
+	// ForTest marks the external test package (package foo_test).
+	ForTest bool
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files holds the parsed files in deterministic (sorted filename)
+	// order.
+	Files []*ast.File
+	// Types is the type-checked package object. Never nil, but possibly
+	// incomplete when TypeErrors is non-empty.
+	Types *types.Package
+	// TypesInfo records the resolved types, uses, and definitions for
+	// the package's syntax. Never nil.
+	TypesInfo *types.Info
+	// TypeErrors collects type-checking problems. The loader tolerates
+	// them — a package that go build rejects is caught by the build
+	// gate, not the linter — but analyzers may consult them.
+	TypeErrors []error
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Load parses and type-checks the packages selected by patterns,
+// resolved relative to dir (which must lie inside a module). Patterns
+// follow the go tool's shape: "./..." selects every package under dir,
+// "sub/..." every package under sub, anything else a single directory.
+// With no patterns, "./..." is assumed.
+//
+// Loading is self-contained: imports are type-checked from source
+// (stdlib from GOROOT, module packages from the module tree) by a
+// tolerant importer, so no compiled export data, go command invocation,
+// or third-party loader is needed.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	mod, err := FindModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(abs, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	im := newImporter(fset, mod)
+	var pkgs []*Package
+	for _, d := range dirs {
+		got, err := loadDir(fset, im, mod, d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	return pkgs, nil
+}
+
+// expandPatterns resolves go-style package patterns to directories.
+func expandPatterns(dir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Join(dir, rest)
+			err := filepath.WalkDir(root, func(path string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				name := de.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+					name == "testdata" || name == "vendor" || name == "bin" || name == "results") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(dir, pat))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks one directory into up to two packages:
+// the base package (non-test plus in-package test files) and the
+// external test package, when _test-package files exist.
+func loadDir(fset *token.FileSet, im *sourceImporter, mod *Module, dir string) ([]*Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	rel, err := filepath.Rel(mod.Dir, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	importPath := mod.Path
+	if rel != "" {
+		importPath = mod.Path + "/" + rel
+	}
+
+	var pkgs []*Package
+	base := append(append([]string{}, bp.GoFiles...), bp.CgoFiles...)
+	base = append(base, bp.TestGoFiles...)
+	sort.Strings(base)
+	if len(base) > 0 {
+		p, err := checkFiles(fset, im, mod, dir, rel, importPath, base, false)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		xs := append([]string{}, bp.XTestGoFiles...)
+		sort.Strings(xs)
+		p, err := checkFiles(fset, im, mod, dir, rel, importPath, xs, true)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkFiles parses the named files in dir and type-checks them as one
+// package, tolerating type errors.
+func checkFiles(fset *token.FileSet, im *sourceImporter, mod *Module, dir, rel, importPath string, names []string, forTest bool) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	p := &Package{
+		Module:     mod,
+		ImportPath: importPath,
+		RelPath:    rel,
+		Dir:        dir,
+		ForTest:    forTest,
+		Fset:       fset,
+		Files:      files,
+	}
+	p.TypesInfo = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    im,
+		FakeImportC: true,
+		Error:       func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	checkPath := importPath
+	if forTest {
+		checkPath += "_test"
+	}
+	// The returned error restates TypeErrors; checking continues past
+	// them, which is all we need.
+	p.Types, _ = conf.Check(checkPath, fset, files, p.TypesInfo)
+	return p, nil
+}
+
+// sourceImporter type-checks imported packages from source: stdlib
+// packages from GOROOT/src (including GOROOT/src/vendor for the paths
+// stdlib itself vendors), module-local packages from the module tree.
+// Function bodies of imports are skipped and type errors tolerated — an
+// import only needs a usable exported surface for the analyzers to see
+// correct types in the package under analysis.
+type sourceImporter struct {
+	fset    *token.FileSet
+	mod     *Module
+	goroot  string
+	pkgs    map[string]*types.Package
+	loading map[string]bool
+}
+
+func newImporter(fset *token.FileSet, mod *Module) *sourceImporter {
+	return &sourceImporter{
+		fset:    fset,
+		mod:     mod,
+		goroot:  build.Default.GOROOT,
+		pkgs:    map[string]*types.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (im *sourceImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (im *sourceImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	if im.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	dir, err := im.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: import %q: %v", path, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: import %q: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	im.loading[path] = true
+	defer delete(im.loading, path)
+	conf := types.Config{
+		Importer:         im,
+		FakeImportC:      true,
+		IgnoreFuncBodies: true,
+		Error:            func(error) {},
+	}
+	pkg, _ := conf.Check(path, im.fset, files, nil)
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: import %q: type-checking produced no package", path)
+	}
+	pkg.MarkComplete()
+	im.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolve maps an import path to a source directory.
+func (im *sourceImporter) resolve(path string) (string, error) {
+	if path == im.mod.Path {
+		return im.mod.Dir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, im.mod.Path+"/"); ok {
+		return filepath.Join(im.mod.Dir, filepath.FromSlash(rest)), nil
+	}
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	if !strings.Contains(first, ".") {
+		return filepath.Join(im.goroot, "src", filepath.FromSlash(path)), nil
+	}
+	// Paths stdlib itself vendors (e.g. golang.org/x/net/http2/hpack).
+	vendored := filepath.Join(im.goroot, "src", "vendor", filepath.FromSlash(path))
+	if _, err := os.Stat(vendored); err == nil {
+		return vendored, nil
+	}
+	return "", fmt.Errorf("lint: cannot resolve import %q: not stdlib, not in module %s (the module is dependency-free by policy)", path, im.mod.Path)
+}

@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly flags imports that are neither standard library nor
+// module-local, anywhere in the tree — tests, examples, and tools
+// included. The module ships with an empty dependency graph (go.mod has
+// no require directives) and stays that way by policy: every algorithm
+// is implemented from the paper, the server is net/http, and this
+// linter itself is go/ast + go/types. A dotted first path element is
+// what distinguishes an external module path from the stdlib namespace.
+// Cgo ("C") is likewise flagged: it would tie the build to a C
+// toolchain.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc:  "flag any import that is neither standard library nor module-local (zero-dependency policy)",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "C" {
+				pass.Reportf(imp.Pos(), "cgo is not allowed: the module builds with the Go toolchain alone")
+				continue
+			}
+			if _, local := moduleRel(pass.Pkg, path); local {
+				continue
+			}
+			first := path
+			if i := strings.IndexByte(path, '/'); i >= 0 {
+				first = path[:i]
+			}
+			if !strings.Contains(first, ".") {
+				continue // stdlib namespace
+			}
+			pass.Reportf(imp.Pos(), "import %q is neither stdlib nor module-local: the module is dependency-free by policy", path)
+		}
+	}
+}

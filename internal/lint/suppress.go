@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive: //lint:ignore <analyzer> <reason>.
+const ignorePrefix = "//lint:ignore"
+
+// A suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	// standalone directives (alone on their line) apply to the next
+	// line; trailing directives apply to their own line.
+	standalone bool
+	used       bool
+	// malformed carries the problem message when the directive cannot
+	// be honored.
+	malformed string
+}
+
+// suppressionSet indexes every //lint:ignore directive in the loaded
+// packages and tracks which ones fired.
+type suppressionSet struct {
+	byFile map[string][]*suppression
+}
+
+// newSuppressions scans the packages' comments for directives.
+func newSuppressions(pkgs []*Package) *suppressionSet {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	set := &suppressionSet{byFile: map[string][]*suppression{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					s := parseSuppression(pkg, f, c, known)
+					set.byFile[s.pos.Filename] = append(set.byFile[s.pos.Filename], s)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseSuppression validates one directive comment.
+func parseSuppression(pkg *Package, f *ast.File, c *ast.Comment, known map[string]bool) *suppression {
+	pos := pkg.Fset.Position(c.Pos())
+	s := &suppression{pos: pos, standalone: !tokenBefore(pkg, f, c.Pos())}
+	rest := strings.TrimPrefix(c.Text, ignorePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //lint:ignoreme — not our directive.
+		s.malformed = "malformed directive: want \"//lint:ignore <analyzer> <reason>\""
+		return s
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		s.malformed = "//lint:ignore is missing the analyzer name and reason"
+		return s
+	}
+	s.analyzer = fields[0]
+	if !known[s.analyzer] {
+		s.malformed = "//lint:ignore names unknown analyzer \"" + s.analyzer + "\""
+		return s
+	}
+	if len(fields) < 2 {
+		s.malformed = "//lint:ignore " + s.analyzer + " needs a reason"
+		return s
+	}
+	s.reason = strings.Join(fields[1:], " ")
+	return s
+}
+
+// tokenBefore reports whether any syntax in f starts on pos's line
+// before pos — i.e. whether the comment at pos trails code.
+func tokenBefore(pkg *Package, f *ast.File, pos token.Pos) bool {
+	line := pkg.Fset.Position(pos).Line
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || found {
+			return false
+		}
+		if n.Pos() < pos && pkg.Fset.Position(n.Pos()).Line == line {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// suppressed reports whether d is covered by a well-formed directive,
+// marking the directive used.
+func (set *suppressionSet) suppressed(d Diagnostic) bool {
+	for _, s := range set.byFile[d.Pos.Filename] {
+		if s.malformed != "" || s.analyzer != d.Analyzer {
+			continue
+		}
+		target := s.pos.Line
+		if s.standalone {
+			target = s.pos.Line + 1
+		}
+		if d.Pos.Line == target {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// problems returns directive-analyzer diagnostics: malformed directives
+// and well-formed directives that suppressed nothing (stale ignores).
+// Call after every analyzer has run.
+func (set *suppressionSet) problems() []Diagnostic {
+	var files []string
+	for f := range set.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, s := range set.byFile[f] {
+			switch {
+			case s.malformed != "":
+				out = append(out, Diagnostic{Pos: s.pos, Analyzer: Directive.Name, Message: s.malformed})
+			case !s.used:
+				out = append(out, Diagnostic{Pos: s.pos, Analyzer: Directive.Name,
+					Message: "unused suppression: no " + s.analyzer + " finding here (remove the stale //lint:ignore)"})
+			}
+		}
+	}
+	return out
+}
+
+// Directive validates //lint:ignore suppressions: every directive must
+// name a registered analyzer, carry a non-empty reason, and actually
+// suppress a finding. It runs inside the driver (its Run is nil) because
+// it needs the other analyzers' results.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "check that //lint:ignore suppressions are well-formed, reasoned, and not stale",
+}

@@ -1,0 +1,28 @@
+// Package directive is the directive analyzer's golden input: the
+// suppression syntax itself is linted.
+package directive
+
+func used(a, b float64) bool {
+	//lint:ignore floatcmp a well-formed, exercised directive is silent
+	return a == b
+}
+
+func unused(a, b float64) bool {
+	/* want "unused suppression" */ //lint:ignore floatcmp nothing below triggers floatcmp
+	return a < b
+}
+
+func missingReason(a, b float64) bool {
+	/* want "needs a reason" */ //lint:ignore floatcmp
+	return a == b               // want "floating-point == comparison"
+}
+
+func unknownAnalyzer(a, b float64) bool {
+	/* want "unknown analyzer" */ //lint:ignore nosuchcheck this analyzer does not exist
+	return a != b                 // want "floating-point != comparison"
+}
+
+func bare(a, b float64) bool {
+	/* want "missing the analyzer name" */ //lint:ignore
+	return a == b                          // want "floating-point == comparison"
+}

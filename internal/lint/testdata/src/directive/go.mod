@@ -1,0 +1,3 @@
+module example.com/directive
+
+go 1.22

@@ -1,0 +1,59 @@
+// Package crh is the exporteddoc analyzer's golden input: the root
+// package's exported surface must be fully documented.
+package crh
+
+func Exported() {} // want "exported function Exported has no doc comment"
+
+// Documented functions are fine.
+func Documented() {}
+
+func unexported() {} // fine: not exported
+
+type Thing struct { // want "exported type Thing has no doc comment"
+	// want+2 "exported field Thing.Field has no doc comment"
+
+	Field int
+	// Documented fields are fine.
+	OK     int
+	Inline int // trailing line comments count as docs
+	hidden int
+}
+
+func (Thing) Do() {} // want "exported method Thing.Do has no doc comment"
+
+// Pointer-receiver methods resolve to their base type.
+func (*Thing) Done() {}
+
+func (*Thing) Redo() {} // want "exported method Thing.Redo has no doc comment"
+
+func (Thing) private() {} // fine: unexported method
+
+// Resolver is documented; its methods still need docs.
+type Resolver interface {
+	// want+2 "exported method Resolver.Resolve has no doc comment"
+
+	Resolve() error
+	// Close is documented.
+	Close() error
+}
+
+// want+2 "exported const Answer has no doc comment"
+
+const Answer = 42
+
+// MaxIters is documented.
+const MaxIters = 20
+
+// Grouped declarations are covered by the group doc.
+const (
+	ModeA = iota
+	ModeB
+)
+
+// want+2 "exported var Global has no doc comment"
+
+var Global int
+
+var internal int // fine: unexported
+
+func init() { unexported(); internal++ }

@@ -1,0 +1,3 @@
+module github.com/crhkit/crh
+
+go 1.22

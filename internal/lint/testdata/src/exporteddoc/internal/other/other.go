@@ -1,0 +1,6 @@
+// Package other is outside the analyzer's scope: nothing is flagged.
+package other
+
+func Undocumented() {}
+
+type Bare struct{ Field int }

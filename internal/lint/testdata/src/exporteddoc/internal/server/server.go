@@ -1,0 +1,9 @@
+package server // want "package server has no package doc comment"
+
+type Config struct { // want "exported type Config has no doc comment"
+	// Capacity is documented.
+	Capacity int
+	// want+2 "exported field Config.Decay has no doc comment"
+
+	Decay float64
+}

@@ -1,0 +1,41 @@
+// Package floatcmp is the floatcmp analyzer's golden input.
+package floatcmp
+
+type celsius float64 // named float types count too
+
+func comparisons(a, b float64, f32 float32, c celsius, n int, s string) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if a != b { // want "floating-point != comparison"
+		return true
+	}
+	if f32 == float32(a) { // want "floating-point == comparison"
+		return true
+	}
+	if c == celsius(a) { // want "floating-point == comparison"
+		return true
+	}
+	if float64(n) == b { // want "floating-point == comparison"
+		return true
+	}
+
+	// Allowed: literal-0 guards (the division/degenerate-input idiom).
+	if a == 0 {
+		return true
+	}
+	if 0 == b {
+		return true
+	}
+	if b == 0.0 {
+		return true
+	}
+	// Allowed: ordered comparisons and non-float operands.
+	if a < b || a >= b {
+		return true
+	}
+	if n == 42 {
+		return true
+	}
+	return s == "x"
+}

@@ -1,0 +1,7 @@
+package floatcmp
+
+// Test files are exempt: exact comparisons against known constants are
+// how tests pin results.
+func testOnlyComparison(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,21 @@
+// Package globalrand is the globalrand analyzer's golden input.
+package globalrand
+
+import "math/rand"
+
+func bad() float64 {
+	rand.Seed(42)      // want "rand.Seed uses the global generator"
+	_ = rand.Intn(10)  // want "rand.Intn uses the global generator"
+	xs := rand.Perm(3) // want "rand.Perm uses the global generator"
+	_ = xs
+	return rand.Float64() // want "rand.Float64 uses the global generator"
+}
+
+func good(seed int64) float64 {
+	// The constructors are the sanctioned path to randomness.
+	rng := rand.New(rand.NewSource(seed))
+	var src rand.Source = rand.NewSource(seed) // type references are fine
+	_ = src
+	_ = rng.Intn(10)
+	return rng.Float64()
+}

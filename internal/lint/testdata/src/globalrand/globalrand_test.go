@@ -1,0 +1,8 @@
+package globalrand
+
+import "math/rand"
+
+// Test files are exempt: throwaway randomness in tests is fine.
+func testOnlyGlobal() float64 {
+	return rand.Float64()
+}

@@ -1,0 +1,8 @@
+// The crhd binary is the one sanctioned server importer.
+package main
+
+import (
+	_ "github.com/crhkit/crh/internal/server"
+)
+
+func main() {}

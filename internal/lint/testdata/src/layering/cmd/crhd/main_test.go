@@ -1,0 +1,6 @@
+// crhd's tests share the directory's privilege.
+package main_test
+
+import (
+	_ "github.com/crhkit/crh/internal/server"
+)

@@ -1,0 +1,8 @@
+// Everything else must stay behind the HTTP API.
+package main
+
+import (
+	_ "github.com/crhkit/crh/internal/server" // want "examples/app must not import internal/server"
+)
+
+func main() {}

@@ -1,0 +1,6 @@
+// Package loss is substrate: importing the server is doubly wrong.
+package loss
+
+import (
+	_ "github.com/crhkit/crh/internal/server" // want "internal/loss must not import internal/server" "server subsystem is private to cmd/crhd"
+)

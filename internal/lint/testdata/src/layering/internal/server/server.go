@@ -1,0 +1,6 @@
+// Package server may use the solver; only cmd/crhd may use it.
+package server
+
+import (
+	_ "github.com/crhkit/crh/internal/core"
+)

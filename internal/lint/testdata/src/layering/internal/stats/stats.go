@@ -1,0 +1,9 @@
+// Package stats is substrate: it must not look upward.
+package stats
+
+import (
+	_ "sort" // stdlib is always fine
+
+	_ "github.com/crhkit/crh/internal/core"        // want "internal/stats must not import internal/core"
+	_ "github.com/crhkit/crh/internal/experiments" // want "internal/stats must not import internal/experiments"
+)

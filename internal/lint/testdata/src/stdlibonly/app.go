@@ -1,0 +1,13 @@
+// Package app is the stdlibonly analyzer's golden input.
+package app
+
+import (
+	_ "encoding/json" // stdlib: fine
+	_ "net/http"      // stdlib: fine
+
+	_ "example.com/app/sub" // module-local: fine
+
+	_ "github.com/pkg/errors"      // want `import "github.com/pkg/errors" is neither stdlib nor module-local`
+	_ "golang.org/x/sync/errgroup" // want `import "golang.org/x/sync/errgroup" is neither stdlib nor module-local`
+	_ "gopkg.in/yaml.v3"           // want `import "gopkg.in/yaml.v3" is neither stdlib nor module-local`
+)

@@ -1,0 +1,3 @@
+package app
+
+import "C" // want "cgo is not allowed"

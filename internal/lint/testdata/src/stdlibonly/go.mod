@@ -1,0 +1,3 @@
+module example.com/app
+
+go 1.22

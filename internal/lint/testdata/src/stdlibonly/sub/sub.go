@@ -1,0 +1,2 @@
+// Package sub exists so a module-local import resolves.
+package sub

@@ -1,0 +1,13 @@
+// Package suppress proves reasoned //lint:ignore directives silence
+// findings: every violation here is covered, so the full suite reports
+// nothing.
+package suppress
+
+func standalone(a, b float64) bool {
+	//lint:ignore floatcmp standalone directives cover the next line
+	return a == b
+}
+
+func trailing(a, b float64) bool {
+	return a != b //lint:ignore floatcmp trailing directives cover their own line
+}

@@ -1,6 +1,11 @@
 package loss
 
-import "github.com/crhkit/crh/internal/data"
+import (
+	"sort"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
+)
 
 // Levenshtein returns the edit distance between a and b (unit costs for
 // insertion, deletion and substitution), using O(min(len)) memory.
@@ -61,13 +66,23 @@ func (EditDistance) Truth(obs []int, ws []float64, p *data.Property) (int, []flo
 	for j, c := range obs {
 		weight[c] += ws[j]
 	}
+	// Iterate candidates in sorted order: map order would vary the cost
+	// summation order (and thus its rounding) run to run, and the medoid
+	// choice must be deterministic.
+	cands := make([]int, 0, len(weight))
+	for c := range weight {
+		cands = append(cands, c)
+	}
+	sort.Ints(cands)
 	best, bestCost := -1, 0.0
-	for cand := range weight {
+	for _, cand := range cands {
 		var cost float64
-		for c, w := range weight {
-			cost += w * normEdit(p.CatName(cand), p.CatName(c))
+		for _, c := range cands {
+			cost += weight[c] * normEdit(p.CatName(cand), p.CatName(c))
 		}
-		if best == -1 || cost < bestCost || (cost == bestCost && cand < best) {
+		// Costs that differ only by accumulation rounding are ties; the
+		// smallest candidate (already held, cands being sorted) wins.
+		if best == -1 || (cost < bestCost && !stats.ApproxEq(cost, bestCost)) {
 			best, bestCost = cand, cost
 		}
 	}

@@ -18,7 +18,8 @@ const MethodCRH = "crh"
 // A missing or empty body selects CRH with the paper's defaults.
 type ResolveRequest struct {
 	// Method is "crh" (default) or a registered baseline name.
-	Method  string         `json:"method,omitempty"`
+	Method string `json:"method,omitempty"`
+	// Options tunes the CRH solver; ignored for baselines.
 	Options ResolveOptions `json:"options,omitempty"`
 }
 
@@ -141,8 +142,9 @@ func cacheKey(uid, version int64, req *ResolveRequest) string {
 
 // TruthJSON is one resolved entry in a response.
 type TruthJSON struct {
+	// Object and Property name the entry the value resolves.
 	Object   string `json:"object"`
-	Property string `json:"property"`
+	Property string `json:"property"` // see Object
 	// Value is a float64 for continuous properties, a string for
 	// categorical ones.
 	Value any `json:"value"`
@@ -155,9 +157,11 @@ type TruthJSON struct {
 // followers); the per-request cached/coalesced flags live in the HTTP
 // envelope, never here.
 type ResolveResponse struct {
+	// Dataset and Version identify the snapshot that was resolved;
+	// Method is the algorithm that resolved it.
 	Dataset string `json:"dataset"`
-	Version int64  `json:"version"`
-	Method  string `json:"method"`
+	Version int64  `json:"version"` // see Dataset
+	Method  string `json:"method"`  // see Dataset
 	// Truths lists every resolved entry, ordered by object then property.
 	Truths []TruthJSON `json:"truths"`
 	// Weights maps source name to reliability weight; omitted for
@@ -165,7 +169,7 @@ type ResolveResponse struct {
 	Weights map[string]float64 `json:"weights,omitempty"`
 	// Converged and Iterations report solver diagnostics (CRH only).
 	Converged  *bool `json:"converged,omitempty"`
-	Iterations int   `json:"iterations,omitempty"`
+	Iterations int   `json:"iterations,omitempty"` // see Converged
 }
 
 func sortTruths(ts []TruthJSON) {

@@ -278,10 +278,12 @@ func (e *entry) rebuild(version int64) *Snapshot {
 // (continuous) or string (categorical); the property's type is inferred
 // on first mention and enforced thereafter.
 type Observation struct {
+	// Source names the claiming source; Object and Property name the
+	// entry it claims about; Value carries the claimed value.
 	Source   string          `json:"source"`
-	Object   string          `json:"object"`
-	Property string          `json:"property"`
-	Value    json.RawMessage `json:"value"`
+	Object   string          `json:"object"`   // see Source
+	Property string          `json:"property"` // see Source
+	Value    json.RawMessage `json:"value"`    // see Source
 	// Timestamp optionally places the observation's object on the I-CRH
 	// timeline; when omitted the batch sequence number is used for the
 	// incremental chunk and no timestamp is recorded on the dataset.
@@ -456,14 +458,20 @@ func (r *Registry) Delete(name string) bool {
 
 // DatasetInfo is the JSON description of one registered dataset.
 type DatasetInfo struct {
-	Name         string `json:"name"`
-	Version      int64  `json:"version"`
-	Sources      int    `json:"sources"`
-	Objects      int    `json:"objects"`
-	Properties   int    `json:"properties"`
-	Observations int    `json:"observations"`
-	HasTruth     bool   `json:"has_ground_truth"`
-	Chunks       int    `json:"chunks_ingested"`
+	// Name and Version identify the snapshot being described.
+	Name    string `json:"name"`
+	Version int64  `json:"version"` // see Name
+	// Sources, Objects, Properties, and Observations are the snapshot's
+	// dimensions.
+	Sources      int `json:"sources"`
+	Objects      int `json:"objects"`      // see Sources
+	Properties   int `json:"properties"`   // see Sources
+	Observations int `json:"observations"` // see Sources
+	// HasTruth reports whether a ground truth was uploaded with the
+	// dataset.
+	HasTruth bool `json:"has_ground_truth"`
+	// Chunks counts the ingest batches applied since creation.
+	Chunks int `json:"chunks_ingested"`
 }
 
 // Info describes the entry's current snapshot.

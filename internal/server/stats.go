@@ -38,9 +38,11 @@ type HistogramSnapshot struct {
 	// Buckets[i] counts observations ≤ BoundsMs[i]; the last element of
 	// Buckets (one longer than BoundsMs) counts the +Inf overflow.
 	BoundsMs []float64 `json:"bounds_ms"`
-	Buckets  []int64   `json:"buckets"`
-	Count    int64     `json:"count"`
-	SumMs    float64   `json:"sum_ms"`
+	Buckets  []int64   `json:"buckets"` // see BoundsMs
+	// Count and SumMs total the recorded observations and their sum in
+	// milliseconds (so mean latency is SumMs/Count).
+	Count int64   `json:"count"`
+	SumMs float64 `json:"sum_ms"` // see Count
 }
 
 func (h *histogram) snapshot() HistogramSnapshot {
@@ -81,8 +83,10 @@ func NewStats() *Stats { return &Stats{start: time.Now()} }
 
 // StatsSnapshot is the JSON document served by GET /v1/stats.
 type StatsSnapshot struct {
+	// UptimeSeconds is the time since the Stats was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
+	// Requests counts each API operation served.
 	Requests struct {
 		Resolves     int64 `json:"resolves"`
 		Ingests      int64 `json:"ingests"`
@@ -91,6 +95,8 @@ type StatsSnapshot struct {
 		Deletes      int64 `json:"deletes"`
 	} `json:"requests"`
 
+	// Cache reports the resolve result cache's hit/miss counters and
+	// occupancy.
 	Cache struct {
 		Hits     int64   `json:"hits"`
 		Misses   int64   `json:"misses"`
@@ -99,6 +105,7 @@ type StatsSnapshot struct {
 		Capacity int     `json:"capacity"`
 	} `json:"cache"`
 
+	// Coalesce reports request-coalescing effectiveness.
 	Coalesce struct {
 		// Leaders is the number of resolves that actually computed;
 		// Followers the number that piggybacked on an identical inflight
@@ -107,6 +114,7 @@ type StatsSnapshot struct {
 		Followers int64 `json:"followers"`
 	} `json:"coalesce"`
 
+	// ResolveLatency is the end-to-end resolve latency distribution.
 	ResolveLatency HistogramSnapshot `json:"resolve_latency"`
 }
 

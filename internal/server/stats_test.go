@@ -8,10 +8,10 @@ import (
 
 func TestHistogramBuckets(t *testing.T) {
 	var h histogram
-	h.observe(50 * time.Microsecond)   // ≤ 0.1ms  -> bucket 0
-	h.observe(200 * time.Microsecond)  // ≤ 0.25ms -> bucket 1
-	h.observe(3 * time.Millisecond)    // ≤ 5ms    -> bucket 5
-	h.observe(10 * time.Second)        // overflow -> last bucket
+	h.observe(50 * time.Microsecond)  // ≤ 0.1ms  -> bucket 0
+	h.observe(200 * time.Microsecond) // ≤ 0.25ms -> bucket 1
+	h.observe(3 * time.Millisecond)   // ≤ 5ms    -> bucket 5
+	h.observe(10 * time.Second)       // overflow -> last bucket
 	s := h.snapshot()
 	if s.Count != 4 {
 		t.Fatalf("count = %d, want 4", s.Count)

@@ -1,0 +1,39 @@
+package stats
+
+import "math"
+
+// DefaultEqTol is the tolerance ApproxEq uses: wide enough to absorb the
+// summation-order rounding that parallel or map-ordered accumulation
+// introduces (documented on core.Config.Parallelism), narrow enough that
+// genuinely different losses and objectives never compare equal.
+const DefaultEqTol = 1e-9
+
+// ApproxEq reports whether a and b are equal within DefaultEqTol. It is
+// the repository's sanctioned float comparison — the floatcmp analyzer
+// rejects == / != on floats precisely so that convergence checks,
+// tie-breaks, and loss comparisons come through here (or through an
+// explicit tolerance) instead of depending on exact bit patterns.
+func ApproxEq(a, b float64) bool {
+	return ApproxEqTol(a, b, DefaultEqTol)
+}
+
+// ApproxEqTol reports whether a and b are equal within tol, comparing
+// absolutely near zero and relatively elsewhere: |a−b| ≤ tol·max(1, |a|,
+// |b|). NaN equals nothing; infinities are equal only to themselves
+// (same sign).
+func ApproxEqTol(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1) || math.IsInf(a, -1) && math.IsInf(b, -1)
+	}
+	scale := 1.0
+	if aa := math.Abs(a); aa > scale {
+		scale = aa
+	}
+	if ab := math.Abs(b); ab > scale {
+		scale = ab
+	}
+	return math.Abs(a-b) <= tol*scale
+}

@@ -97,6 +97,7 @@ func WeightedMedian(xs, ws []float64) float64 {
 	for i < n {
 		j := i
 		var tie float64
+		//lint:ignore floatcmp Eq 16 pools the weight of identical observed values; approximate ties would merge distinct claims
 		for j < n && ps[j].x == ps[i].x {
 			tie += ps[j].w
 			j++
@@ -196,13 +197,13 @@ func Normalize01(xs []float64) []float64 {
 		return xs
 	}
 	min, max := MinMax(xs)
-	if max == min {
+	r := max - min
+	if r == 0 {
 		for i := range xs {
 			xs[i] = 1
 		}
 		return xs
 	}
-	r := max - min
 	for i := range xs {
 		xs[i] = (xs[i] - min) / r
 	}
@@ -296,6 +297,7 @@ func ranks(xs []float64) []float64 {
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//lint:ignore floatcmp average ranks share ties only between exactly equal values
 		for j < n && xs[idx[j]] == xs[idx[i]] {
 			j++
 		}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stats"
 )
 
 // Flight reproduces the conflict structure of the flight data set of Li et
@@ -186,13 +187,13 @@ func Flight(cfg FlightConfig) (*data.Dataset, *data.Table) {
 				}
 				// A missed update lands after everyone's last crawl:
 				// all sources serve the stale value.
-				allStale := ct.truth != ct.stale && rng.Float64() < cfg.MissedUpdateRate
+				allStale := !stats.ApproxEq(ct.truth, ct.stale) && rng.Float64() < cfg.MissedUpdateRate
 				for _, sc := range srcs {
 					if rng.Float64() >= sc.coverage {
 						continue
 					}
 					v := ct.truth
-					if allStale || (delayed && ct.truth != ct.stale && rng.Float64() < sc.staleP) {
+					if allStale || (delayed && !stats.ApproxEq(ct.truth, ct.stale) && rng.Float64() < sc.staleP) {
 						v = ct.stale
 					} else if rng.Float64() < sc.jitterP {
 						v = roundTo(v+rng.NormFloat64()*sc.jitter, 1)

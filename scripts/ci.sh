@@ -1,0 +1,30 @@
+#!/bin/sh
+# ci.sh — the full gate a change must pass before merging.
+#
+# Runs, in order:
+#   1. make check   build + vet + crhlint + tests under the race detector
+#   2. make lint    redundant with check, but prints lint findings on
+#                   their own so a lint failure is easy to spot in logs
+#   3. gofmt -l     fails if any tracked Go file is unformatted
+#
+# Exits non-zero on the first failure.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> make check"
+make check
+
+echo "==> make lint"
+make lint
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files are not formatted:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "ci: all gates passed"
