@@ -1,15 +1,17 @@
 # Tier-1 gate: everything a PR must keep green.
-#   make check     build + vet + lint + tests with the race detector
-#   make lint      project-specific static analysis (cmd/crhlint)
-#   make test      fast test run (no race detector)
-#   make bench     all benchmarks
-#   make crhd      build the truth-discovery server binary
+#   make check      build + vet + lint + tests with the race detector
+#   make lint       project-specific static analysis (cmd/crhlint)
+#   make test       fast test run (no race detector)
+#   make bench      all benchmarks
+#   make benchjson  machine-readable BENCH_<id>.json experiment records
+#   make racehammer concurrency hammer tests (obs + server), repeated
+#   make crhd       build the truth-discovery server binary
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench crhd clean
+.PHONY: check build vet lint test race bench benchjson racehammer crhd clean
 
-check: build vet lint race
+check: build vet lint race racehammer
 
 lint:
 	$(GO) run ./cmd/crhlint ./...
@@ -28,6 +30,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+benchjson:
+	$(GO) run ./cmd/crhbench -exp all -scale small -json .
+
+racehammer:
+	$(GO) test -race -count=2 -run 'Concurrent|Hammer' ./internal/obs/... ./internal/server/...
 
 crhd:
 	$(GO) build -o bin/crhd ./cmd/crhd

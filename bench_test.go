@@ -82,6 +82,22 @@ func BenchmarkCRHAdult(b *testing.B) {
 	}
 }
 
+// BenchmarkCRHWeatherTraced measures the same fusion as
+// BenchmarkCRHWeather with a JSONL iteration trace attached — compare
+// the two to bound the cost of solver tracing (the nil-hook path in
+// BenchmarkCRHWeather is the ≤2%-overhead reference).
+func BenchmarkCRHWeatherTraced(b *testing.B) {
+	d, _ := crh.GenerateWeather(crh.WeatherOptions{Seed: 1})
+	opts := crh.Options{Trace: crh.NewJSONLTrace(io.Discard)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := crh.Run(d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkICRHWeather measures the one-pass incremental variant on the
 // same weather workload as BenchmarkCRHWeather — the Table 5 speedup.
 func BenchmarkICRHWeather(b *testing.B) {

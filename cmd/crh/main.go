@@ -11,7 +11,8 @@
 // and MNAD. Output: one resolved value per entry, then the source weights.
 //
 // Flags select the loss functions, weight scheme, and optionally the
-// incremental (streaming) mode for timestamped data.
+// incremental (streaming) mode for timestamped data. -trace writes one
+// JSON record per solver iteration (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strings"
 
 	crh "github.com/crhkit/crh"
+	"github.com/crhkit/crh/internal/obs/buildinfo"
 )
 
 func main() {
@@ -44,9 +46,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		quiet    = fs.Bool("quiet", false, "print only weights and evaluation, not per-entry truths")
 		method   = fs.String("method", "crh", "resolution method: crh, or a baseline name (-list-methods)")
 		listM    = fs.Bool("list-methods", false, "list the registered method names and exit")
+		traceF   = fs.String("trace", "", "write one JSONL record per solver iteration to this file (batch CRH only; see docs/OBSERVABILITY.md)")
+		version  = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stderr, "crh")
+		return 0
 	}
 
 	if *listM {
@@ -71,6 +79,22 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	opts, code := buildOptions(*contLoss, *catLoss, *scheme, *topJ, stderr)
 	if code != 0 {
 		return code
+	}
+
+	var trace *crh.JSONLTrace
+	if *traceF != "" {
+		if *method != "crh" || *streamW > 0 || *live {
+			fmt.Fprintln(stderr, "crh: -trace only applies to batch -method crh")
+			return 2
+		}
+		tf, err := os.Create(*traceF)
+		if err != nil {
+			fmt.Fprintf(stderr, "crh: %v\n", err)
+			return 1
+		}
+		defer tf.Close()
+		trace = crh.NewJSONLTrace(tf)
+		opts.Trace = trace
 	}
 
 	if *live {
@@ -117,6 +141,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		truths, weights = res.Truths, res.Weights
 		fmt.Fprintf(stdout, "# CRH converged=%v iterations=%d\n", res.Converged, res.Iterations)
+		if trace != nil {
+			if err := trace.Err(); err != nil {
+				fmt.Fprintf(stderr, "crh: trace: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "crh: wrote %d trace records to %s\n", res.Iterations, *traceF)
+		}
 	}
 
 	if !*quiet {

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -163,5 +167,73 @@ func TestCLILiveBadStream(t *testing.T) {
 	_, _, code := runCLI(t, []string{"-stream-window", "1", "-live"}, "V\to\tp\ts\t1\n")
 	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+// TestCLITrace runs batch CRH with -trace and validates the JSONL
+// output: one record per iteration, objective decreasing keys present.
+func TestCLITrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, errS, code := runCLI(t, []string{"-trace", path, "-quiet"}, sampleTSV)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errS)
+	}
+	if !strings.Contains(errS, "trace records") {
+		t.Errorf("stderr missing trace note: %q", errS)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var iters int
+	if _, err := fmt.Sscanf(out[strings.Index(out, "iterations="):], "iterations=%d", &iters); err != nil {
+		t.Fatalf("parse iterations from %q: %v", out, err)
+	}
+	if len(lines) != iters {
+		t.Fatalf("%d trace records for %d iterations", len(lines), iters)
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		for _, key := range []string{"iter", "objective", "weight_phase_ns", "truth_phase_ns", "truth_changes", "weights", "converged"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("record %d missing %q: %s", i, key, line)
+			}
+		}
+		if got := rec["iter"].(float64); int(got) != i+1 {
+			t.Errorf("record %d iter = %v", i, got)
+		}
+	}
+	var last map[string]any
+	json.Unmarshal([]byte(lines[len(lines)-1]), &last)
+	if last["converged"] != true {
+		t.Errorf("final record converged = %v", last["converged"])
+	}
+}
+
+// TestCLITraceErrors covers -trace misuse and unwritable paths.
+func TestCLITraceErrors(t *testing.T) {
+	if _, _, code := runCLI(t, []string{"-trace", "x.jsonl", "-method", "mean"}, sampleTSV); code != 2 {
+		t.Fatalf("trace+baseline: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, []string{"-trace", "x.jsonl", "-stream-window", "1"}, streamTSV); code != 2 {
+		t.Fatalf("trace+stream: exit %d, want 2", code)
+	}
+	if _, _, code := runCLI(t, []string{"-trace", "/nonexistent-dir/x.jsonl"}, sampleTSV); code != 1 {
+		t.Fatalf("unwritable trace path: exit %d, want 1", code)
+	}
+}
+
+// TestCLIVersion checks -version prints build identity and exits 0.
+func TestCLIVersion(t *testing.T) {
+	_, errS, code := runCLI(t, []string{"-version"}, "")
+	if code != 0 {
+		t.Fatalf("-version exit %d", code)
+	}
+	if !strings.Contains(errS, "crh ") || !strings.Contains(errS, "go1") {
+		t.Fatalf("-version output %q", errS)
 	}
 }

@@ -4,24 +4,85 @@
 //
 //	crhbench -exp table2           # one experiment, small scale
 //	crhbench -exp all -scale full  # everything at the paper's scale
+//	crhbench -exp all -json .      # also write BENCH_<id>.json per experiment
 //	crhbench -list                 # enumerate experiment IDs
 //
 // Small scale shrinks the large simulations so every experiment finishes
 // in seconds; full scale uses the paper's data set sizes (Tables 1 and 3)
 // and can take a long time for the baseline-heavy tables.
+//
+// With -json, each experiment additionally writes a machine-readable
+// BENCH_<id>.json record (wall time, ns/op, allocations, table row
+// counts) to the given directory, so CI can diff benchmark numbers
+// across commits. The schema is documented in docs/OBSERVABILITY.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
+	"time"
 
 	"github.com/crhkit/crh/internal/experiments"
+	"github.com/crhkit/crh/internal/obs/buildinfo"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// benchRecord is the BENCH_<id>.json document written for each
+// experiment under -json.
+type benchRecord struct {
+	Name    string `json:"name"`
+	Caption string `json:"caption"`
+	Scale   string `json:"scale"`
+	// Runs is the number of times the experiment executed; WallNs the
+	// total wall time and NsPerOp the per-run average.
+	Runs    int   `json:"runs"`
+	WallNs  int64 `json:"wall_ns"`
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocBytes/AllocObjects are heap-allocation deltas over the runs
+	// (runtime.MemStats TotalAlloc/Mallocs), an upper bound that includes
+	// any concurrent allocation.
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	AllocObjects uint64 `json:"alloc_objects"`
+	// TableRows counts the data rows across the report's tables — a
+	// cheap fingerprint that the experiment produced full output.
+	TableRows int    `json:"table_rows"`
+	GoVersion string `json:"go_version"`
+}
+
+// runMeasured executes one experiment, rendering its report to stdout
+// and returning the filled benchmark record.
+func runMeasured(e experiments.Experiment, s experiments.Scale, scaleName string, stdout io.Writer) benchRecord {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	rep := e.Run(s)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	rep.Render(stdout)
+	rows := 0
+	for _, t := range rep.Tables {
+		rows += len(t.Rows)
+	}
+	return benchRecord{
+		Name:         e.ID,
+		Caption:      e.Caption,
+		Scale:        scaleName,
+		Runs:         1,
+		WallNs:       wall.Nanoseconds(),
+		NsPerOp:      wall.Nanoseconds(),
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		AllocObjects: after.Mallocs - before.Mallocs,
+		TableRows:    rows,
+		GoVersion:    runtime.Version(),
+	}
 }
 
 // run is the testable entry point; it returns the process exit code.
@@ -31,8 +92,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exp := fs.String("exp", "all", "experiment ID (e.g. table2, fig5) or 'all'")
 	scale := fs.String("scale", "small", "data scale: small | full")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	jsonDir := fs.String("json", "", "write a BENCH_<id>.json record per experiment to this directory")
+	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stderr, "crhbench")
+		return 0
 	}
 
 	if *list {
@@ -54,15 +121,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	reg := experiments.Registry()
+	var ids []string
 	if *exp == "all" {
-		experiments.RunAll(s, stdout)
-		return 0
+		ids = experiments.IDs()
+	} else {
+		if _, ok := reg[*exp]; !ok {
+			fmt.Fprintf(stderr, "crhbench: unknown experiment %q; -list shows the options\n", *exp)
+			return 2
+		}
+		ids = []string{*exp}
 	}
-	e, ok := experiments.Registry()[*exp]
-	if !ok {
-		fmt.Fprintf(stderr, "crhbench: unknown experiment %q; -list shows the options\n", *exp)
-		return 2
+
+	for _, id := range ids {
+		if *exp == "all" {
+			fmt.Fprintf(stdout, ">>> running %s ...\n", id)
+		}
+		rec := runMeasured(reg[id], s, *scale, stdout)
+		if *jsonDir == "" {
+			continue
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+id+".json")
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "crhbench: wrote %s\n", path)
 	}
-	e.Run(s).Render(stdout)
 	return 0
 }

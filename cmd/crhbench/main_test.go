@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -38,5 +41,60 @@ func TestCrhbenchErrors(t *testing.T) {
 	}
 	if code := run([]string{"-badflag"}, &out, &errB); code != 2 {
 		t.Fatalf("bad flag: exit %d", code)
+	}
+}
+
+// TestCrhbenchJSON runs one experiment with -json and validates the
+// BENCH_<id>.json record.
+func TestCrhbenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out, errB bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-json", dir}, &out, &errB); code != 0 {
+		t.Fatalf("exit %d (%s)", code, errB.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_table1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Name      string `json:"name"`
+		Scale     string `json:"scale"`
+		Runs      int    `json:"runs"`
+		WallNs    int64  `json:"wall_ns"`
+		NsPerOp   int64  `json:"ns_per_op"`
+		TableRows int    `json:"table_rows"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "table1" || rec.Scale != "small" || rec.Runs != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.WallNs <= 0 || rec.NsPerOp <= 0 || rec.TableRows <= 0 || rec.GoVersion == "" {
+		t.Errorf("record has empty measurements: %+v", rec)
+	}
+	// The report still renders to stdout alongside the JSON.
+	if !strings.Contains(out.String(), "# Observations") {
+		t.Errorf("table1 report missing:\n%s", out.String())
+	}
+}
+
+// TestCrhbenchJSONBadDir covers the unwritable -json directory path.
+func TestCrhbenchJSONBadDir(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-exp", "table1", "-json", "/nonexistent-dir"}, &out, &errB); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+// TestCrhbenchVersion checks -version prints build identity.
+func TestCrhbenchVersion(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errB); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errB.String(), "crhbench ") {
+		t.Fatalf("-version output %q", errB.String())
 	}
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// statusWriter captures the status code and body size written by the
+// wrapped handler so the request log can report them.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// requestLog wraps next with structured per-request logging: every
+// request gets a monotonically increasing id and an INFO record with
+// method, path, status, size, and latency; requests slower than `slow`
+// are raised to WARN so they stand out without a query language.
+// Requests for /metrics and /healthz are not logged (scrapers and
+// load-balancer probes would drown the log).
+func requestLog(log *slog.Logger, slow time.Duration, next http.Handler) http.Handler {
+	var nextID atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := nextID.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(t0)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		attrs := []any{
+			slog.Int64("req_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("elapsed", elapsed),
+		}
+		if slow > 0 && elapsed >= slow {
+			log.Warn("slow request", append(attrs, slog.Duration("slow_threshold", slow))...)
+			return
+		}
+		log.Info("request", attrs...)
+	})
+}

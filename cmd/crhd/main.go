@@ -10,6 +10,8 @@
 // codec format) under the given names. The server then accepts:
 //
 //	GET    /healthz                          liveness
+//	GET    /v1/healthz                       readiness: dataset count + build info
+//	GET    /metrics                          Prometheus text exposition
 //	GET    /v1/stats                         counters, cache hit rate, latency histogram
 //	GET    /v1/methods                       registered resolution methods
 //	GET    /v1/datasets                      list datasets
@@ -29,14 +31,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"github.com/crhkit/crh/internal/obs/buildinfo"
 	"github.com/crhkit/crh/internal/server"
 )
 
@@ -56,9 +61,16 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		addr      = fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
 		cacheSize = fs.Int("cache", 128, "resolve result cache capacity (entries)")
 		decay     = fs.Float64("decay", 1, "I-CRH decay rate α in [0,1] for live-ingest incremental state")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+		slow      = fs.Duration("slow", 500*time.Millisecond, "log requests at or above this latency at WARN level (0 disables)")
+		version   = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stderr, "crhd")
+		return 0
 	}
 	if *decay < 0 || *decay > 1 {
 		fmt.Fprintf(stderr, "crhd: -decay must be in [0,1], got %g\n", *decay)
@@ -97,7 +109,22 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		ready <- ln.Addr().String()
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	var handler http.Handler = srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintln(stderr, "crhd: pprof enabled under /debug/pprof/")
+	}
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
+	handler = requestLog(logger, *slow, handler)
+
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

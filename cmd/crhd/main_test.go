@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -235,4 +236,90 @@ func TestBadFlags(t *testing.T) {
 	if code := run(ctx, []string{"-addr", "256.256.256.256:99999"}, &stderr, nil); code != 1 {
 		t.Fatalf("bad addr: exit %d", code)
 	}
+}
+
+// TestVersionFlag checks -version prints build identity and exits 0.
+func TestVersionFlag(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &stderr, nil); code != 0 {
+		t.Fatalf("-version exit %d", code)
+	}
+	if !strings.Contains(stderr.String(), "crhd ") || !strings.Contains(stderr.String(), "go1") {
+		t.Fatalf("-version output %q", stderr.String())
+	}
+}
+
+// TestPprofAndRequestLog boots crhd with -pprof and verifies the
+// profiling endpoints are mounted and that API requests are logged as
+// structured JSON records with request IDs.
+func TestPprofAndRequestLog(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr syncBuffer
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof"}, &stderr, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-done:
+		t.Fatalf("server exited early with code %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/v1/datasets", "/metrics", "/healthz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	// The API and pprof requests are logged with ids; /metrics and
+	// /healthz are exempt from logging.
+	logged := stderr.String()
+	for _, want := range []string{`"msg":"request"`, `"req_id":`, `"path":"/v1/datasets"`, `"path":"/debug/pprof/"`, `"status":200`} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("request log missing %q in:\n%s", want, logged)
+		}
+	}
+	for _, absent := range []string{`"path":"/metrics"`, `"path":"/healthz"`} {
+		if strings.Contains(logged, absent) {
+			t.Errorf("request log should not contain %q", absent)
+		}
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for concurrent writers — the server
+// goroutine logs to it while the test reads it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

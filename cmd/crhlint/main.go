@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"github.com/crhkit/crh/internal/lint"
+	"github.com/crhkit/crh/internal/obs/buildinfo"
 )
 
 func main() {
@@ -37,11 +38,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("crhlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list = fs.Bool("list", false, "print the registered analyzers with their one-line docs and exit")
-		dir  = fs.String("dir", ".", "directory to resolve package patterns against (must be inside a module)")
+		list    = fs.Bool("list", false, "print the registered analyzers with their one-line docs and exit")
+		dir     = fs.String("dir", ".", "directory to resolve package patterns against (must be inside a module)")
+		version = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stderr, "crhlint")
+		return 0
 	}
 	if *list {
 		for _, a := range lint.Analyzers() {

@@ -109,3 +109,14 @@ func TestSmokeBadUsage(t *testing.T) {
 		t.Errorf("load error not reported on stderr: %q", stderr.String())
 	}
 }
+
+// TestVersionFlag checks -version prints build identity and exits 0.
+func TestVersionFlag(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errB); code != 0 {
+		t.Fatalf("-version exit %d", code)
+	}
+	if !strings.Contains(errB.String(), "crhlint ") {
+		t.Fatalf("-version output %q", errB.String())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	crh "github.com/crhkit/crh"
+	"github.com/crhkit/crh/internal/obs/buildinfo"
 )
 
 func main() {
@@ -37,9 +38,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		flights = fs.Int("flights", 0, "flights for flight (0 = default)")
 		days    = fs.Int("days", 0, "days for weather/stock/flight (0 = default)")
 		cities  = fs.Int("cities", 0, "cities for weather (0 = default)")
+		version = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		buildinfo.Print(stderr, "datagen")
+		return 0
 	}
 
 	var (

@@ -57,3 +57,14 @@ func TestDatagenErrors(t *testing.T) {
 		t.Fatal("bad flag should exit 2")
 	}
 }
+
+// TestVersionFlag checks -version prints build identity and exits 0.
+func TestVersionFlag(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errB); code != 0 {
+		t.Fatalf("-version exit %d", code)
+	}
+	if !strings.Contains(errB.String(), "datagen ") {
+		t.Fatalf("-version output %q", errB.String())
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"github.com/crhkit/crh/internal/core"
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/eval"
+	"github.com/crhkit/crh/internal/obs"
 )
 
 // Core data model. These alias the internal implementation so the whole
@@ -97,6 +98,28 @@ type Options = core.Config
 // Result is the output of a CRH run: the truth table, source weights, and
 // convergence diagnostics.
 type Result = core.Result
+
+// SolverTrace receives per-iteration solver telemetry when set as
+// Options.Trace: objective value, per-phase wall time, weight-vector
+// summary, and truth-change count. See NewJSONLTrace for a ready-made
+// sink and TraceFunc to adapt a plain function.
+type SolverTrace = obs.SolverTrace
+
+// IterationTrace is one solver iteration's telemetry record, as
+// delivered to a SolverTrace (and serialized by NewJSONLTrace, one JSON
+// object per line).
+type IterationTrace = obs.IterationTrace
+
+// TraceFunc adapts a function to the SolverTrace interface.
+type TraceFunc = obs.TraceFunc
+
+// JSONLTrace is a SolverTrace writing JSON Lines; see NewJSONLTrace.
+type JSONLTrace = obs.JSONLTrace
+
+// NewJSONLTrace returns a SolverTrace that appends one JSON record per
+// iteration to w — the sink behind cmd/crh's -trace flag. The trace
+// schema is documented in docs/OBSERVABILITY.md.
+func NewJSONLTrace(w io.Writer) *obs.JSONLTrace { return obs.NewJSONLTrace(w) }
 
 // ErrEmptyDataset is returned by Run for datasets with no sources or
 // entries.

@@ -17,9 +17,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/loss"
+	"github.com/crhkit/crh/internal/obs"
 	"github.com/crhkit/crh/internal/reg"
 	"github.com/crhkit/crh/internal/stats"
 )
@@ -80,6 +82,14 @@ type Config struct {
 	// one extra pass over the observations.
 	ComputeConfidence bool
 
+	// Trace receives per-iteration telemetry (objective, per-phase wall
+	// time, weight summary, truth-change count) from the
+	// block-coordinate-descent loop. Nil — the default — disables
+	// instrumentation entirely: the loop computes none of the
+	// trace-only quantities, so the hot path stays allocation-free.
+	// obs.NewJSONLTrace provides a ready-made JSONL sink.
+	Trace obs.SolverTrace
+
 	// PropertyGroups relaxes the source-weight consistency assumption
 	// (Section 2.5, "Source weight consistency"): instead of one weight
 	// per source, each source gets one weight per group of properties,
@@ -125,6 +135,11 @@ type Result struct {
 	// Objective records the objective value after each iteration's truth
 	// update (index 0 is the initialization pass).
 	Objective []float64
+	// IterTime records each iteration's wall time (weight update, truth
+	// update, and objective evaluation together), aligned with
+	// Objective. Always populated — convergence-versus-cost analyses
+	// need it whether or not a Trace is installed.
+	IterTime []time.Duration
 	// Iterations is the number of weight/truth iterations executed.
 	Iterations int
 	// Converged reports whether the tolerance was met before MaxIters.
@@ -186,16 +201,22 @@ func Run(d *data.Dataset, cfg Config) (*Result, error) {
 		s.pinKnown()
 	} else {
 		s.setUniformWeights()
-		s.updateTruths()
+		s.updateTruths(false)
 	}
 
 	res := &Result{}
+	tracing := cfg.Trace != nil
 	prevObj := math.Inf(1)
 	for it := 0; it < cfg.MaxIters; it++ {
+		t0 := time.Now()
 		s.updateWeights()
-		s.updateTruths()
+		tW := time.Now()
+		changes := s.updateTruths(tracing)
+		tT := time.Now()
 		obj := s.objective()
+		tO := time.Now()
 		res.Objective = append(res.Objective, obj)
+		res.IterTime = append(res.IterTime, tO.Sub(t0))
 		res.Iterations = it + 1
 		if !math.IsInf(prevObj, 1) {
 			denom := math.Abs(prevObj)
@@ -204,10 +225,24 @@ func Run(d *data.Dataset, cfg Config) (*Result, error) {
 			}
 			if (prevObj-obj)/denom < cfg.Tol {
 				res.Converged = true
-				break
 			}
 		}
 		prevObj = obj
+		if tracing {
+			cfg.Trace.TraceIteration(obs.IterationTrace{
+				Iteration:      it + 1,
+				Objective:      obj,
+				WeightPhase:    tW.Sub(t0),
+				TruthPhase:     tT.Sub(tW),
+				ObjectivePhase: tO.Sub(tT),
+				TruthChanges:   changes,
+				Weights:        obs.SummarizeWeights(s.weights[0]),
+				Converged:      res.Converged,
+			})
+		}
+		if res.Converged {
+			break
+		}
 	}
 	res.Truths = s.truths
 	res.Weights = s.weights[0]
@@ -395,9 +430,18 @@ func (s *solver) gather(e int, categorical bool) int {
 // updateTruths performs Step II: per-entry argmin under current weights,
 // parallelized across entries (each entry's truth is independent).
 // Entries pinned by KnownTruths are left untouched.
-func (s *solver) updateTruths() {
+//
+// When countChanges is set (only while a Trace is installed) it returns
+// the number of entries whose truth estimate moved this pass; otherwise
+// it returns 0 without comparing, keeping the untraced path free of the
+// extra table reads.
+func (s *solver) updateTruths(countChanges bool) int {
 	d := s.d
-	s.forEntriesParallel(func(sc *scratch, _, lo, hi int) {
+	var perWorker []int
+	if countChanges {
+		perWorker = make([]int, s.numWorkers())
+	}
+	s.forEntriesParallel(func(sc *scratch, worker, lo, hi int) {
 		for e := lo; e < hi; e++ {
 			if s.cfg.KnownTruths != nil && s.cfg.KnownTruths.Has(e) {
 				v, _ := s.cfg.KnownTruths.Get(e)
@@ -406,21 +450,43 @@ func (s *solver) updateTruths() {
 				continue
 			}
 			p := d.Prop(d.EntryProp(e))
+			var nv data.Value
 			if p.Type == data.Categorical {
 				if s.gatherInto(sc, e, true) == 0 {
 					continue
 				}
 				t, dist := s.cfg.CategoricalLoss.Truth(sc.cats, sc.ws, p)
-				s.truths.Set(e, data.Cat(t))
+				nv = data.Cat(t)
 				s.dists[e] = dist
 			} else {
 				if s.gatherInto(sc, e, false) == 0 {
 					continue
 				}
-				s.truths.Set(e, data.Float(s.cfg.ContinuousLoss.Truth(sc.vals, sc.ws)))
+				nv = data.Float(s.cfg.ContinuousLoss.Truth(sc.vals, sc.ws))
 			}
+			if countChanges {
+				if old, ok := s.truths.Get(e); !ok || truthChanged(p.Type, old, nv) {
+					perWorker[worker]++
+				}
+			}
+			s.truths.Set(e, nv)
 		}
 	})
+	var changes int
+	for _, c := range perWorker {
+		changes += c
+	}
+	return changes
+}
+
+// truthChanged reports whether a truth update moved an entry's estimate:
+// a different label for categorical entries, a shift beyond 1e-12 for
+// continuous ones (exact float equality would misreport rounding noise).
+func truthChanged(t data.Type, old, nv data.Value) bool {
+	if t == data.Categorical {
+		return old.C != nv.C
+	}
+	return math.Abs(old.F-nv.F) > 1e-12
 }
 
 // sourceLosses computes the per-group per-source losses feeding Step I:
@@ -623,7 +689,7 @@ func AggregateTruths(d *data.Dataset, weights []float64, cfg Config) *data.Table
 	cfg.PropertyGroups = nil // single-group helper
 	s := newSolver(d, cfg)
 	copy(s.weights[0], weights)
-	s.updateTruths()
+	s.updateTruths(false)
 	return s.truths
 }
 

@@ -127,6 +127,15 @@ func TestRunRecoversPlantedTruths(t *testing.T) {
 	if res.Iterations == 0 || len(res.Objective) != res.Iterations {
 		t.Fatalf("iterations=%d objectives=%d", res.Iterations, len(res.Objective))
 	}
+	// Wall time is recorded alongside every objective sample.
+	if len(res.IterTime) != res.Iterations {
+		t.Fatalf("iterations=%d timings=%d", res.Iterations, len(res.IterTime))
+	}
+	for i, d := range res.IterTime {
+		if d < 0 {
+			t.Fatalf("iteration %d has negative wall time %v", i, d)
+		}
+	}
 }
 
 func TestCRHBeatsUnweightedBaselines(t *testing.T) {

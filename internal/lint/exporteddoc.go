@@ -10,7 +10,7 @@ import (
 // options/config surface, and the baseline method registry. These are
 // the packages whose identifiers users and the HTTP API's JSON shapes
 // are built against.
-var exportedDocScope = []string{"", "internal/server", "internal/baseline"}
+var exportedDocScope = []string{"", "internal/server", "internal/baseline", "internal/obs"}
 
 // ExportedDoc flags undocumented exported identifiers in the public
 // root package, internal/server, and internal/baseline: package-level

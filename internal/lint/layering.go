@@ -23,6 +23,11 @@ var layerRules = []layerRule{
 		Forbidden: []string{"internal/core", "internal/server", "internal/experiments"},
 		Why:       "the numeric substrate must not depend on the solver, server, or experiment layers",
 	},
+	{
+		From:      []string{"internal/obs"},
+		Forbidden: []string{"internal/core", "internal/server", "internal/stream", "internal/experiments", "internal/mapreduce", "internal/baseline", "internal/data"},
+		Why:       "observability is a substrate every layer may instrument with; a cycle back into the instrumented layers would make that impossible",
+	},
 }
 
 // serverDir is the subsystem only its binary may import.
@@ -34,7 +39,8 @@ const serverDir = "internal/server"
 var serverImporters = []string{serverDir, "cmd/crhd"}
 
 // Layering enforces the repository's import DAG: internal/{stats,loss,
-// data} must not import internal/{core,server,experiments}, and nothing
+// data} must not import internal/{core,server,experiments}, internal/obs
+// must not import any layer it instruments, and nothing
 // outside cmd/crhd (and its tests) imports internal/server. The
 // layering is what lets the numeric substrate be tested, fuzzed, and
 // reused in isolation, and keeps every consumer of the server behind

@@ -1,0 +1,10 @@
+// Package obs is substrate: every layer may instrument with it, so it
+// must not import the layers it instruments.
+package obs
+
+import (
+	_ "sync/atomic" // stdlib is always fine
+
+	_ "github.com/crhkit/crh/internal/core"   // want "internal/obs must not import internal/core"
+	_ "github.com/crhkit/crh/internal/stream" // want "internal/obs must not import internal/stream"
+)

@@ -1,0 +1,82 @@
+// Package buildinfo derives a human-readable version string from the
+// information the Go toolchain embeds in every binary
+// (runtime/debug.ReadBuildInfo): module version, VCS revision and commit
+// time, and the Go release. It is the single source behind the -version
+// flag of all five binaries and the build_info fields of crhd's
+// /v1/healthz endpoint.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module's version ("(devel)" for source
+	// builds without a module version).
+	Version string `json:"version"`
+	// Revision and CommitTime come from the VCS stamp, empty when the
+	// binary was built outside a checkout.
+	Revision   string `json:"revision,omitempty"`
+	CommitTime string `json:"commit_time,omitempty"` // see Revision
+	// Dirty reports uncommitted modifications at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the Go release that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Read extracts the build identity of the running binary. It never
+// fails: binaries built without module support report version "unknown".
+func Read() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.CommitTime = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, e.g.
+// "crh (devel) rev 1a2b3c4d (2026-08-06T10:00:00Z, dirty) go1.24.0".
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if i.CommitTime != "" {
+			s += " (" + i.CommitTime
+			if i.Dirty {
+				s += ", dirty"
+			}
+			s += ")"
+		} else if i.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s + " " + i.GoVersion
+}
+
+// Print writes "tool version" for the named tool — the shared body of
+// every binary's -version flag.
+func Print(w io.Writer, tool string) {
+	fmt.Fprintf(w, "%s %s\n", tool, Read())
+}

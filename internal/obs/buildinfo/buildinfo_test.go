@@ -1,0 +1,40 @@
+package buildinfo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRead(t *testing.T) {
+	info := Read()
+	if info.Version == "" {
+		t.Fatal("version is empty")
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Fatalf("go version = %q", info.GoVersion)
+	}
+}
+
+func TestString(t *testing.T) {
+	i := Info{Version: "v1.2.3", Revision: "abcdef0123456789", CommitTime: "2026-08-06T00:00:00Z", Dirty: true, GoVersion: "go1.24.0"}
+	s := i.String()
+	for _, want := range []string{"v1.2.3", "rev abcdef012345", "2026-08-06", "dirty", "go1.24.0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	bare := Info{Version: "unknown", GoVersion: "go1.24.0"}
+	if got := bare.String(); got != "unknown go1.24.0" {
+		t.Errorf("bare String() = %q", got)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var buf bytes.Buffer
+	Print(&buf, "crh")
+	out := buf.String()
+	if !strings.HasPrefix(out, "crh ") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Print wrote %q", out)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeWeights(t *testing.T) {
+	s := SummarizeWeights([]float64{1, 1, 1, 1})
+	if s.Min != 1 || s.Max != 1 || s.Mean != 1 {
+		t.Fatalf("uniform summary = %+v", s)
+	}
+	if math.Abs(s.Entropy-1) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want 1", s.Entropy)
+	}
+	s = SummarizeWeights([]float64{1, 0, 0, 0})
+	if math.Abs(s.Entropy) > 1e-12 {
+		t.Fatalf("degenerate entropy = %v, want 0", s.Entropy)
+	}
+	if s.Min != 0 || s.Max != 1 || math.Abs(s.Mean-0.25) > 1e-12 {
+		t.Fatalf("degenerate summary = %+v", s)
+	}
+	if s := SummarizeWeights(nil); s.Min != 0 || s.Max != 0 || s.Entropy != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestJSONLTrace(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLTrace(&buf)
+	for i := 1; i <= 3; i++ {
+		sink.TraceIteration(IterationTrace{
+			Iteration:   i,
+			Objective:   float64(10 - i),
+			WeightPhase: time.Millisecond,
+			TruthPhase:  2 * time.Millisecond,
+			Weights:     SummarizeWeights([]float64{1, 2}),
+			Converged:   i == 3,
+		})
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	var rec IterationTrace
+	if err := json.Unmarshal([]byte(lines[2]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Iteration != 3 || !rec.Converged || rec.Objective != 7 {
+		t.Fatalf("last record = %+v", rec)
+	}
+	if rec.WeightPhase != time.Millisecond || rec.TruthPhase != 2*time.Millisecond {
+		t.Fatalf("phases = %v/%v", rec.WeightPhase, rec.TruthPhase)
+	}
+	// The schema documented in docs/OBSERVABILITY.md: field names are
+	// load-bearing for external consumers.
+	for _, key := range []string{`"iter"`, `"objective"`, `"weight_phase_ns"`, `"truth_phase_ns"`, `"objective_phase_ns"`, `"truth_changes"`, `"weights"`, `"converged"`, `"entropy"`} {
+		if !strings.Contains(lines[2], key) {
+			t.Errorf("record missing %s: %s", key, lines[2])
+		}
+	}
+}
+
+func TestJSONLTraceWriteError(t *testing.T) {
+	sink := NewJSONLTrace(failWriter{})
+	sink.TraceIteration(IterationTrace{Iteration: 1})
+	if sink.Err() == nil {
+		t.Fatal("expected a retained write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+func TestTraceFunc(t *testing.T) {
+	var got []int
+	var tr SolverTrace = TraceFunc(func(rec IterationTrace) { got = append(got, rec.Iteration) })
+	tr.TraceIteration(IterationTrace{Iteration: 7})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("TraceFunc got %v", got)
+	}
+}

@@ -436,6 +436,13 @@ func (e *entry) WarmState() (truths []TruthJSON, weights map[string]float64, chu
 	return truths, weights, e.chunks
 }
 
+// Count returns the number of registered datasets.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
 // Get returns the entry for name.
 func (r *Registry) Get(name string) (*entry, bool) {
 	r.mu.RLock()

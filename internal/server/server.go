@@ -10,6 +10,9 @@ import (
 	"github.com/crhkit/crh/internal/baseline"
 	"github.com/crhkit/crh/internal/core"
 	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/obs"
+	"github.com/crhkit/crh/internal/obs/buildinfo"
+	"github.com/crhkit/crh/internal/stream"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -22,13 +25,14 @@ type Config struct {
 }
 
 // Server is the crhd HTTP subsystem: registry + result cache + request
-// coalescing + stats behind a net/http handler. Create with New; safe for
-// concurrent use.
+// coalescing + registry-backed metrics behind a net/http handler. Create
+// with New; safe for concurrent use.
 type Server struct {
 	registry *Registry
 	cache    *resultCache
 	flights  *flightGroup
 	stats    *Stats
+	metrics  *obs.Registry
 	mux      *http.ServeMux
 }
 
@@ -40,14 +44,31 @@ func New(cfg Config) *Server {
 	if cfg.Decay == 0 {
 		cfg.Decay = 1
 	}
+	metrics := obs.NewRegistry()
 	s := &Server{
 		registry: NewRegistry(cfg.Decay),
 		cache:    newResultCache(cfg.CacheCapacity),
 		flights:  newFlightGroup(),
-		stats:    NewStats(),
+		stats:    NewStats(metrics),
+		metrics:  metrics,
 		mux:      http.NewServeMux(),
 	}
+	// Ingest batches advance warm I-CRH state through the streaming
+	// processor; one shared counter set aggregates that load across all
+	// datasets.
+	s.registry.streamCfg.Metrics = stream.NewMetrics(metrics)
+	metrics.NewGaugeFunc("crhd_cache_entries", "resolve results currently cached", func() float64 {
+		return float64(s.cache.len())
+	})
+	metrics.NewGaugeFunc("crhd_cache_capacity", "resolve result cache capacity", func() float64 {
+		return float64(s.cache.capacity())
+	})
+	metrics.NewGaugeFunc("crhd_datasets", "datasets currently registered", func() float64 {
+		return float64(s.registry.Count())
+	})
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthzV1)
+	s.mux.Handle("GET /metrics", metrics.Handler())
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
@@ -69,6 +90,10 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Stats exposes the operational counters.
 func (s *Server) Stats() *Stats { return s.stats }
 
+// Metrics exposes the server's metric registry — the one behind
+// GET /metrics — so the binary can attach process-level gauges.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
 type errorJSON struct {
 	Error string `json:"error"`
 }
@@ -87,6 +112,26 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// HealthResponse is the JSON document served by GET /v1/healthz:
+// liveness plus enough identity to tell which build is answering.
+type HealthResponse struct {
+	// Status is "ok" whenever the handler runs at all.
+	Status string `json:"status"`
+	// Datasets counts the currently registered datasets (readiness: a
+	// preloading server reports 0 until its datasets are in).
+	Datasets int `json:"datasets"`
+	// Build identifies the running binary.
+	Build buildinfo.Info `json:"build"`
+}
+
+func (s *Server) handleHealthzV1(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Datasets: s.registry.Count(),
+		Build:    buildinfo.Read(),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -181,7 +226,7 @@ type resolveEnvelope struct {
 
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	defer func() { s.stats.resolveLatency.observe(time.Since(t0)) }()
+	defer func() { s.stats.resolveLatency.ObserveDuration(time.Since(t0)) }()
 	s.stats.resolves.Add(1)
 
 	e, ok := s.registry.Get(r.PathValue("name"))

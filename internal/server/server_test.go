@@ -479,3 +479,79 @@ func TestIngestErrors(t *testing.T) {
 		t.Fatalf("ingest to missing dataset: %d", code)
 	}
 }
+
+// TestHealthzV1 verifies the readiness endpoint reports the dataset
+// count and build identity.
+func TestHealthzV1(t *testing.T) {
+	_, ts := testServer(t)
+	var out HealthResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/healthz", nil, &out); code != 200 {
+		t.Fatalf("v1/healthz: %d", code)
+	}
+	if out.Status != "ok" || out.Datasets != 0 {
+		t.Fatalf("healthz = %+v", out)
+	}
+	if out.Build.GoVersion == "" {
+		t.Fatalf("healthz build info empty: %+v", out.Build)
+	}
+	mustCreate(t, ts.URL, "weather", testTSV)
+	doJSON(t, "GET", ts.URL+"/v1/healthz", nil, &out)
+	if out.Datasets != 1 {
+		t.Fatalf("datasets after create = %d, want 1", out.Datasets)
+	}
+}
+
+// TestMetricsEndpoint drives the API and checks the Prometheus text
+// exposition covers requests, cache, coalescing, ingest, and latency.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	base := ts.URL
+	mustCreate(t, base, "weather", testTSV)
+	ingest := `{"observations":[{"source":"s1","object":"oX","property":"temp","value":1}]}`
+	if code := doJSON(t, "POST", base+"/v1/datasets/weather/observations", strings.NewReader(ingest), nil); code != 200 {
+		t.Fatalf("ingest: %d", code)
+	}
+	for i := 0; i < 2; i++ { // second resolve is a cache hit
+		if code := doJSON(t, "POST", base+"/v1/datasets/weather/resolve", strings.NewReader(`{}`), nil); code != 200 {
+			t.Fatalf("resolve %d failed", i)
+		}
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`crhd_requests_total{op="resolve"} 2`,
+		`crhd_requests_total{op="create"} 1`,
+		`crhd_requests_total{op="ingest"} 1`,
+		`crhd_observations_ingested_total 1`,
+		`crhd_cache_hits_total 1`,
+		`crhd_cache_misses_total 1`,
+		`crhd_coalesce_total{role="leader"} 1`,
+		`crhd_resolve_latency_seconds_count 2`,
+		`crhd_resolve_latency_seconds_bucket{le="+Inf"} 2`,
+		`crhd_datasets 1`,
+		`crhd_cache_entries 1`,
+		`crh_stream_chunks_total 1`,
+		`crh_stream_observations_total 1`,
+		"# TYPE crhd_requests_total counter",
+		"# TYPE crhd_resolve_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}

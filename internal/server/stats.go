@@ -1,85 +1,102 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
+
+	"github.com/crhkit/crh/internal/obs"
 )
 
-// latencyBoundsMs are the upper bounds (milliseconds, inclusive) of the
-// resolve-latency histogram buckets; a final implicit +Inf bucket catches
-// the rest. Roughly logarithmic, spanning cache hits (~µs) to multi-second
-// full resolves.
-var latencyBoundsMs = [...]float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+// latencyBounds are the upper bounds (seconds, inclusive) of the
+// resolve-latency histogram buckets; a final implicit +Inf bucket
+// catches the rest. Roughly logarithmic, spanning cache hits (~µs) to
+// multi-second full resolves. These are obs.DefBuckets, pinned here so
+// the JSON stats shape cannot drift if the obs default changes.
+var latencyBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
-// histogram is a fixed-bucket latency histogram with atomic counters —
-// safe for concurrent observation without locks. The extra bucket is the
-// +Inf overflow.
-type histogram struct {
-	counts [len(latencyBoundsMs) + 1]atomic.Int64
-	count  atomic.Int64
-	sumUs  atomic.Int64 // total microseconds, integer so it can be atomic
+// Stats aggregates the server's operational counters, registry-backed:
+// every counter and the latency histogram is an obs metric, so the same
+// numbers feed both GET /v1/stats (JSON) and GET /metrics (Prometheus
+// text exposition). All fields update atomically; Snapshot may be called
+// at any time.
+type Stats struct {
+	start time.Time
+
+	resolves     *obs.Counter
+	ingests      *obs.Counter
+	observations *obs.Counter
+	creates      *obs.Counter
+	deletes      *obs.Counter
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
+	coalesceLeaders   *obs.Counter
+	coalesceFollowers *obs.Counter
+
+	resolveLatency *obs.Histogram
 }
 
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
-		i++
+// NewStats registers the server's metrics on reg and returns the Stats
+// anchored at the current time. The metric names are documented in
+// docs/OBSERVABILITY.md.
+func NewStats(reg *obs.Registry) *Stats {
+	s := &Stats{
+		start:             time.Now(),
+		resolves:          reg.NewCounter(`crhd_requests_total{op="resolve"}`, "API operations served, by operation"),
+		ingests:           reg.NewCounter(`crhd_requests_total{op="ingest"}`, "API operations served, by operation"),
+		creates:           reg.NewCounter(`crhd_requests_total{op="create"}`, "API operations served, by operation"),
+		deletes:           reg.NewCounter(`crhd_requests_total{op="delete"}`, "API operations served, by operation"),
+		observations:      reg.NewCounter("crhd_observations_ingested_total", "observations accepted across all ingest batches"),
+		cacheHits:         reg.NewCounter("crhd_cache_hits_total", "resolve result cache hits"),
+		cacheMisses:       reg.NewCounter("crhd_cache_misses_total", "resolve result cache misses"),
+		coalesceLeaders:   reg.NewCounter(`crhd_coalesce_total{role="leader"}`, "resolve computations, by coalescing role"),
+		coalesceFollowers: reg.NewCounter(`crhd_coalesce_total{role="follower"}`, "resolve computations, by coalescing role"),
+		resolveLatency:    reg.NewHistogram("crhd_resolve_latency_seconds", "end-to-end resolve latency", latencyBounds),
 	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumUs.Add(d.Microseconds())
+	reg.NewGaugeFunc("crhd_uptime_seconds", "seconds since the server started", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	return s
 }
 
-// HistogramSnapshot is the JSON shape of a histogram: cumulative bucket
-// counts keyed by upper bound, plus totals.
+// HistogramSnapshot is the JSON shape of a latency histogram:
+// per-bucket counts keyed by upper bound in milliseconds, plus totals.
 type HistogramSnapshot struct {
-	// Buckets[i] counts observations ≤ BoundsMs[i]; the last element of
-	// Buckets (one longer than BoundsMs) counts the +Inf overflow.
+	// BoundsMs are the buckets' upper bounds in milliseconds; Buckets[i]
+	// counts observations in (BoundsMs[i-1], BoundsMs[i]], with the last
+	// element of Buckets (one longer than BoundsMs) the +Inf overflow.
 	BoundsMs []float64 `json:"bounds_ms"`
 	Buckets  []int64   `json:"buckets"` // see BoundsMs
 	// Count and SumMs total the recorded observations and their sum in
 	// milliseconds (so mean latency is SumMs/Count).
 	Count int64   `json:"count"`
 	SumMs float64 `json:"sum_ms"` // see Count
+	// P50Ms, P95Ms, and P99Ms are latency quantiles estimated from the
+	// buckets by linear interpolation (0 while Count is 0).
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"` // see P50Ms
+	P99Ms float64 `json:"p99_ms"` // see P50Ms
 }
 
-func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		BoundsMs: latencyBoundsMs[:],
-		Buckets:  make([]int64, len(h.counts)),
-		Count:    h.count.Load(),
-		SumMs:    float64(h.sumUs.Load()) / 1e3,
+// histogramJSON converts an obs histogram snapshot (seconds) to the
+// stats document's millisecond shape.
+func histogramJSON(s obs.HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		BoundsMs: make([]float64, len(s.Bounds)),
+		Buckets:  s.Counts,
+		Count:    s.Count,
+		SumMs:    s.Sum * 1e3,
 	}
-	for i := range h.counts {
-		s.Buckets[i] = h.counts[i].Load()
+	for i, b := range s.Bounds {
+		out.BoundsMs[i] = b * 1e3
 	}
-	return s
+	if s.Count > 0 {
+		out.P50Ms = s.Quantile(0.50) * 1e3
+		out.P95Ms = s.Quantile(0.95) * 1e3
+		out.P99Ms = s.Quantile(0.99) * 1e3
+	}
+	return out
 }
-
-// Stats aggregates the server's operational counters. All fields are
-// updated atomically; Snapshot may be called at any time.
-type Stats struct {
-	start time.Time
-
-	resolves     atomic.Int64
-	ingests      atomic.Int64
-	observations atomic.Int64
-	creates      atomic.Int64
-	deletes      atomic.Int64
-
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-
-	coalesceLeaders   atomic.Int64
-	coalesceFollowers atomic.Int64
-
-	resolveLatency histogram
-}
-
-// NewStats returns a zeroed Stats anchored at the current time.
-func NewStats() *Stats { return &Stats{start: time.Now()} }
 
 // StatsSnapshot is the JSON document served by GET /v1/stats.
 type StatsSnapshot struct {
@@ -123,20 +140,20 @@ type StatsSnapshot struct {
 func (s *Stats) Snapshot(cacheSize, cacheCap int) StatsSnapshot {
 	var out StatsSnapshot
 	out.UptimeSeconds = time.Since(s.start).Seconds()
-	out.Requests.Resolves = s.resolves.Load()
-	out.Requests.Ingests = s.ingests.Load()
-	out.Requests.Observations = s.observations.Load()
-	out.Requests.Creates = s.creates.Load()
-	out.Requests.Deletes = s.deletes.Load()
-	out.Cache.Hits = s.cacheHits.Load()
-	out.Cache.Misses = s.cacheMisses.Load()
+	out.Requests.Resolves = s.resolves.Value()
+	out.Requests.Ingests = s.ingests.Value()
+	out.Requests.Observations = s.observations.Value()
+	out.Requests.Creates = s.creates.Value()
+	out.Requests.Deletes = s.deletes.Value()
+	out.Cache.Hits = s.cacheHits.Value()
+	out.Cache.Misses = s.cacheMisses.Value()
 	if total := out.Cache.Hits + out.Cache.Misses; total > 0 {
 		out.Cache.HitRate = float64(out.Cache.Hits) / float64(total)
 	}
 	out.Cache.Size = cacheSize
 	out.Cache.Capacity = cacheCap
-	out.Coalesce.Leaders = s.coalesceLeaders.Load()
-	out.Coalesce.Followers = s.coalesceFollowers.Load()
-	out.ResolveLatency = s.resolveLatency.snapshot()
+	out.Coalesce.Leaders = s.coalesceLeaders.Value()
+	out.Coalesce.Followers = s.coalesceFollowers.Value()
+	out.ResolveLatency = histogramJSON(s.resolveLatency.Snapshot())
 	return out
 }

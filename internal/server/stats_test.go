@@ -1,36 +1,50 @@
 package server
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/crhkit/crh/internal/obs"
 )
 
-func TestHistogramBuckets(t *testing.T) {
-	var h histogram
-	h.observe(50 * time.Microsecond)  // ≤ 0.1ms  -> bucket 0
-	h.observe(200 * time.Microsecond) // ≤ 0.25ms -> bucket 1
-	h.observe(3 * time.Millisecond)   // ≤ 5ms    -> bucket 5
-	h.observe(10 * time.Second)       // overflow -> last bucket
-	s := h.snapshot()
-	if s.Count != 4 {
-		t.Fatalf("count = %d, want 4", s.Count)
+func newTestStats() (*Stats, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return NewStats(reg), reg
+}
+
+func TestLatencyHistogramJSONShape(t *testing.T) {
+	s, _ := newTestStats()
+	s.resolveLatency.ObserveDuration(50 * time.Microsecond)  // ≤ 0.1ms  -> bucket 0
+	s.resolveLatency.ObserveDuration(200 * time.Microsecond) // ≤ 0.25ms -> bucket 1
+	s.resolveLatency.ObserveDuration(3 * time.Millisecond)   // ≤ 5ms    -> bucket 5
+	s.resolveLatency.ObserveDuration(10 * time.Second)       // overflow -> last bucket
+	snap := s.Snapshot(0, 0).ResolveLatency
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
 	}
-	if len(s.Buckets) != len(s.BoundsMs)+1 {
-		t.Fatalf("%d buckets for %d bounds", len(s.Buckets), len(s.BoundsMs))
+	if len(snap.Buckets) != len(snap.BoundsMs)+1 {
+		t.Fatalf("%d buckets for %d bounds", len(snap.Buckets), len(snap.BoundsMs))
 	}
-	for i, want := range map[int]int64{0: 1, 1: 1, 5: 1, len(s.Buckets) - 1: 1} {
-		if s.Buckets[i] != want {
-			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Buckets[i], want, s.Buckets)
+	for i, want := range map[int]int64{0: 1, 1: 1, 5: 1, len(snap.Buckets) - 1: 1} {
+		if snap.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, snap.Buckets[i], want, snap.Buckets)
 		}
 	}
-	if s.SumMs < 10003 || s.SumMs > 10004 {
-		t.Errorf("sum_ms = %v, want ≈10003.25", s.SumMs)
+	if snap.SumMs < 10003 || snap.SumMs > 10004 {
+		t.Errorf("sum_ms = %v, want ≈10003.25", snap.SumMs)
+	}
+	if snap.BoundsMs[0] < 0.099 || snap.BoundsMs[0] > 0.101 {
+		t.Errorf("first bound = %vms, want 0.1ms", snap.BoundsMs[0])
+	}
+	if snap.P50Ms <= 0 || snap.P99Ms < snap.P50Ms {
+		t.Errorf("quantiles p50=%v p99=%v", snap.P50Ms, snap.P99Ms)
 	}
 }
 
 func TestStatsSnapshot(t *testing.T) {
-	s := NewStats()
+	s, _ := newTestStats()
 	s.resolves.Add(5)
 	s.cacheHits.Add(3)
 	s.cacheMisses.Add(1)
@@ -54,9 +68,38 @@ func TestStatsSnapshot(t *testing.T) {
 	}
 }
 
+// TestStatsExposition verifies the same counters surface in the
+// Prometheus exposition under the documented names.
+func TestStatsExposition(t *testing.T) {
+	s, reg := newTestStats()
+	s.resolves.Add(5)
+	s.cacheHits.Add(2)
+	s.coalesceFollowers.Add(3)
+	s.resolveLatency.ObserveDuration(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`crhd_requests_total{op="resolve"} 5`,
+		`crhd_cache_hits_total 2`,
+		`crhd_cache_misses_total 0`,
+		`crhd_coalesce_total{role="follower"} 3`,
+		`crhd_resolve_latency_seconds_count 1`,
+		`crhd_resolve_latency_seconds_bucket{le="0.0025"} 1`,
+		"# TYPE crhd_resolve_latency_seconds histogram",
+		"# TYPE crhd_uptime_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestStatsConcurrent verifies atomic counters under -race.
 func TestStatsConcurrent(t *testing.T) {
-	s := NewStats()
+	s, _ := newTestStats()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -64,7 +107,7 @@ func TestStatsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				s.resolves.Add(1)
-				s.resolveLatency.observe(time.Duration(i) * time.Microsecond)
+				s.resolveLatency.ObserveDuration(time.Duration(i) * time.Microsecond)
 			}
 		}()
 	}

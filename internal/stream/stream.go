@@ -10,6 +10,7 @@ import (
 
 	"github.com/crhkit/crh/internal/core"
 	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/obs"
 	"github.com/crhkit/crh/internal/reg"
 	"github.com/crhkit/crh/internal/stats"
 )
@@ -78,6 +79,44 @@ type Config struct {
 	Decay float64
 	// decaySet distinguishes an explicit 0 from the zero value.
 	DecaySet bool
+	// Metrics, when non-nil, receives ingest telemetry from every
+	// Process call. Create with NewMetrics; multiple processors may
+	// share one set (the counters are atomic), which is how crhd
+	// aggregates ingest load across datasets.
+	Metrics *Metrics
+}
+
+// Metrics holds the ingest counters an I-CRH processor drives: chunk and
+// observation totals plus the current source population. Create with
+// NewMetrics so the series appear in a registry's exposition.
+type Metrics struct {
+	// Chunks counts Process calls; Observations the observations they
+	// carried.
+	Chunks       *obs.Counter
+	Observations *obs.Counter // see Chunks
+	// Sources tracks the largest source population seen (streams grow
+	// their source set open-endedly).
+	Sources *obs.Gauge
+}
+
+// NewMetrics registers the streaming ingest metrics on reg under the
+// crh_stream_* names documented in docs/OBSERVABILITY.md.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Chunks:       reg.NewCounter("crh_stream_chunks_total", "I-CRH chunks processed"),
+		Observations: reg.NewCounter("crh_stream_observations_total", "observations scanned by the I-CRH processor"),
+		Sources:      reg.NewGauge("crh_stream_sources", "source population of the I-CRH processor"),
+	}
+}
+
+// record folds one processed chunk into the metrics.
+func (m *Metrics) record(chunk *data.Dataset, sources int) {
+	if m == nil {
+		return
+	}
+	m.Chunks.Add(1)
+	m.Observations.Add(int64(chunk.NumObservations()))
+	m.Sources.Set(float64(sources))
 }
 
 // Processor consumes chunks one at a time, maintaining source weights and
@@ -143,6 +182,7 @@ func (p *Processor) Process(chunk *data.Dataset) *data.Table {
 	p.weights = scheme.Weights(p.accum)
 	p.history = append(p.history, append([]float64(nil), p.weights...))
 	p.n++
+	p.cfg.Metrics.record(chunk, len(p.weights))
 	return truths
 }
 

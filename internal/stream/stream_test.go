@@ -8,6 +8,7 @@ import (
 	"github.com/crhkit/crh/internal/core"
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/eval"
+	"github.com/crhkit/crh/internal/obs"
 	"github.com/crhkit/crh/internal/reg"
 	"github.com/crhkit/crh/internal/synth"
 )
@@ -360,5 +361,30 @@ func TestProcessorConcurrentAppendQuery(t *testing.T) {
 				t.Fatalf("chunk %d entry %d differs", i, e)
 			}
 		}
+	}
+}
+
+// TestIngestMetrics verifies the processor drives the optional ingest
+// counters: chunk/observation totals and the source population.
+func TestIngestMetrics(t *testing.T) {
+	d, _ := weatherData(t)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	res, err := Run(d, 8, Config{Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Chunks.Value(); got != int64(res.ChunkCount) {
+		t.Fatalf("chunks counter = %d, want %d", got, res.ChunkCount)
+	}
+	if got := m.Observations.Value(); got != int64(d.NumObservations()) {
+		t.Fatalf("observations counter = %d, want %d", got, d.NumObservations())
+	}
+	if got := m.Sources.Value(); got != float64(d.NumSources()) {
+		t.Fatalf("sources gauge = %v, want %d", got, d.NumSources())
+	}
+	// A nil Metrics is a no-op, not a crash.
+	if _, err := Run(d, 8, Config{}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -2,10 +2,13 @@
 # ci.sh — the full gate a change must pass before merging.
 #
 # Runs, in order:
-#   1. make check   build + vet + crhlint + tests under the race detector
-#   2. make lint    redundant with check, but prints lint findings on
-#                   their own so a lint failure is easy to spot in logs
-#   3. gofmt -l     fails if any tracked Go file is unformatted
+#   1. make check      build + vet + crhlint + tests under the race
+#                      detector (incl. the obs/server concurrency hammers)
+#   2. make lint       redundant with check, but prints lint findings on
+#                      their own so a lint failure is easy to spot in logs
+#   3. make racehammer the obs/server concurrency hammers again, on their
+#                      own so a data race is attributed in the logs
+#   4. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -18,6 +21,9 @@ make check
 
 echo "==> make lint"
 make lint
+
+echo "==> make racehammer"
+make racehammer
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
