@@ -4,12 +4,15 @@
 #   make test       fast test run (no race detector)
 #   make bench      all benchmarks
 #   make benchjson  machine-readable BENCH_<id>.json experiment records
-#   make racehammer concurrency hammer tests (obs + server), repeated
+#   make racehammer concurrency hammer tests (core + obs + server), repeated
+#   make fuzz       short fuzz pass over every fuzz target (committed
+#                   corpora always run as part of `make test` already)
 #   make crhd       build the truth-discovery server binary
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race bench benchjson racehammer crhd clean
+.PHONY: check build vet lint test race bench benchjson racehammer fuzz crhd clean
 
 check: build vet lint race racehammer
 
@@ -33,9 +36,16 @@ bench:
 
 benchjson:
 	$(GO) run ./cmd/crhbench -exp all -scale small -json .
+	$(GO) run ./cmd/crhbench -workers 1,2,4,8 -scale small -json .
 
 racehammer:
-	$(GO) test -race -count=2 -run 'Concurrent|Hammer' ./internal/obs/... ./internal/server/...
+	$(GO) test -race -count=2 -run 'Concurrent|Hammer' ./internal/core/... ./internal/obs/... ./internal/server/...
+
+# Go runs one -fuzz pattern per package invocation, so each target gets
+# its own line.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/data/
+	$(GO) test -fuzz=FuzzRunSmall -fuzztime=$(FUZZTIME) ./internal/core/
 
 crhd:
 	$(GO) build -o bin/crhd ./cmd/crhd

@@ -184,7 +184,7 @@ func BenchmarkAblations(b *testing.B) {
 		{"norm/no-count-normalization", crh.Options{DisableCountNormalization: true}},
 		{"weights/per-property-groups", crh.Options{PropertyGroups: [][]int{{0, 1}, {2}}}},
 		{"weights/catd-confidence-aware", crh.Options{Scheme: crh.CATDWeights(0)}},
-		{"parallelism/4-workers", crh.Options{Parallelism: 4}},
+		{"parallelism/4-workers", crh.Options{Workers: 4}},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {

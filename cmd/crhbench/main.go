@@ -5,6 +5,7 @@
 //	crhbench -exp table2           # one experiment, small scale
 //	crhbench -exp all -scale full  # everything at the paper's scale
 //	crhbench -exp all -json .      # also write BENCH_<id>.json per experiment
+//	crhbench -workers 1,2,4,8      # parallel-solver sweep over worker budgets
 //	crhbench -list                 # enumerate experiment IDs
 //
 // Small scale shrinks the large simulations so every experiment finishes
@@ -15,6 +16,14 @@
 // BENCH_<id>.json record (wall time, ns/op, allocations, table row
 // counts) to the given directory, so CI can diff benchmark numbers
 // across commits. The schema is documented in docs/OBSERVABILITY.md.
+//
+// With -workers, crhbench instead times the core solver on the Bank
+// simulation (the largest tabular workload) once per listed worker
+// budget, verifies each budget's output is bit-for-bit identical to the
+// sequential run (the docs/PARALLEL.md contract), and — with -json —
+// writes one BENCH_workers-<k>.json per budget. Every record pins
+// gomaxprocs and workers; sweep numbers are only comparable between
+// records agreeing on both.
 package main
 
 import (
@@ -22,11 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"github.com/crhkit/crh/internal/core"
+	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/experiments"
 	"github.com/crhkit/crh/internal/obs/buildinfo"
 )
@@ -52,9 +66,17 @@ type benchRecord struct {
 	AllocBytes   uint64 `json:"alloc_bytes"`
 	AllocObjects uint64 `json:"alloc_objects"`
 	// TableRows counts the data rows across the report's tables — a
-	// cheap fingerprint that the experiment produced full output.
+	// cheap fingerprint that the experiment produced full output. Sweep
+	// records count resolved truth entries instead.
 	TableRows int    `json:"table_rows"`
 	GoVersion string `json:"go_version"`
+	// GoMaxProcs pins the GOMAXPROCS the record was measured under, and
+	// Workers the solver worker budget (0 = the experiment's own
+	// default). Results never depend on either — the solver is
+	// bit-identical at every budget — but wall times do, so CI must only
+	// diff records that agree on both fields.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
 }
 
 // runMeasured executes one experiment, rendering its report to stdout
@@ -82,7 +104,102 @@ func runMeasured(e experiments.Experiment, s experiments.Scale, scaleName string
 		AllocObjects: after.Mallocs - before.Mallocs,
 		TableRows:    rows,
 		GoVersion:    runtime.Version(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 	}
+}
+
+// writeRecord marshals one benchmark record to dir/BENCH_<name>.json.
+func writeRecord(dir string, rec benchRecord) error {
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+rec.Name+".json"), append(buf, '\n'), 0o644)
+}
+
+// sameBits reports the first divergence between two solver results, or
+// nil when they are bit-for-bit identical.
+func sameBits(d *data.Dataset, ref, got *core.Result) error {
+	if ref.Iterations != got.Iterations {
+		return fmt.Errorf("iterations %d vs %d", ref.Iterations, got.Iterations)
+	}
+	for e := 0; e < d.NumEntries(); e++ {
+		rv, rok := ref.Truths.Get(e)
+		gv, gok := got.Truths.Get(e)
+		if rok != gok || rv.C != gv.C || math.Float64bits(rv.F) != math.Float64bits(gv.F) {
+			return fmt.Errorf("truth for entry %d", e)
+		}
+	}
+	for k := range ref.Weights {
+		if math.Float64bits(ref.Weights[k]) != math.Float64bits(got.Weights[k]) {
+			return fmt.Errorf("weight of source %d", k)
+		}
+	}
+	return nil
+}
+
+// runWorkersSweep times core.Run on the Bank simulation once per worker
+// budget, cross-checking every budget against the sequential reference
+// before any record is written.
+func runWorkersSweep(list string, s experiments.Scale, scaleName, jsonDir string, stdout, stderr io.Writer) int {
+	var budgets []int
+	for _, field := range strings.Split(list, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || k < 1 {
+			fmt.Fprintf(stderr, "crhbench: -workers entry %q is not a positive integer\n", field)
+			return 2
+		}
+		budgets = append(budgets, k)
+	}
+	d, _ := experiments.BankData(s)
+	ref, err := core.Run(d, core.Config{Workers: 1})
+	if err != nil {
+		fmt.Fprintf(stderr, "crhbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "workers sweep: Bank simulation, %d entries, %d sources, gomaxprocs=%d\n",
+		d.NumEntries(), d.NumSources(), runtime.GOMAXPROCS(0))
+	for _, k := range budgets {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		res, err := core.Run(d, core.Config{Workers: k})
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: workers=%d: %v\n", k, err)
+			return 1
+		}
+		if err := sameBits(d, ref, res); err != nil {
+			fmt.Fprintf(stderr, "crhbench: workers=%d diverged from sequential run: %v\n", k, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "workers=%d: %v, %d iterations, bit-identical to sequential\n",
+			k, wall.Round(time.Microsecond), res.Iterations)
+		if jsonDir == "" {
+			continue
+		}
+		rec := benchRecord{
+			Name:         fmt.Sprintf("workers-%d", k),
+			Caption:      fmt.Sprintf("Parallel CRH solver on the Bank simulation, worker budget %d", k),
+			Scale:        scaleName,
+			Runs:         1,
+			WallNs:       wall.Nanoseconds(),
+			NsPerOp:      wall.Nanoseconds(),
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			AllocObjects: after.Mallocs - before.Mallocs,
+			TableRows:    res.Truths.Count(),
+			GoVersion:    runtime.Version(),
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			Workers:      k,
+		}
+		if err := writeRecord(jsonDir, rec); err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "crhbench: wrote %s\n", filepath.Join(jsonDir, "BENCH_"+rec.Name+".json"))
+	}
+	return 0
 }
 
 // run is the testable entry point; it returns the process exit code.
@@ -93,6 +210,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.String("scale", "small", "data scale: small | full")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	jsonDir := fs.String("json", "", "write a BENCH_<id>.json record per experiment to this directory")
+	workersList := fs.String("workers", "", "comma-separated solver worker budgets: time the Bank workload per budget instead of running experiments")
 	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -121,6 +239,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *workersList != "" {
+		return runWorkersSweep(*workersList, s, *scale, *jsonDir, stdout, stderr)
+	}
+
 	reg := experiments.Registry()
 	var ids []string
 	if *exp == "all" {
@@ -141,17 +263,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *jsonDir == "" {
 			continue
 		}
-		path := filepath.Join(*jsonDir, "BENCH_"+id+".json")
-		buf, err := json.MarshalIndent(rec, "", "  ")
-		if err != nil {
+		if err := writeRecord(*jsonDir, rec); err != nil {
 			fmt.Fprintf(stderr, "crhbench: %v\n", err)
 			return 1
 		}
-		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintf(stderr, "crhbench: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(stderr, "crhbench: wrote %s\n", path)
+		fmt.Fprintf(stderr, "crhbench: wrote %s\n", filepath.Join(*jsonDir, "BENCH_"+id+".json"))
 	}
 	return 0
 }

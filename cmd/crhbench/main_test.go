@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -77,6 +78,52 @@ func TestCrhbenchJSON(t *testing.T) {
 	// The report still renders to stdout alongside the JSON.
 	if !strings.Contains(out.String(), "# Observations") {
 		t.Errorf("table1 report missing:\n%s", out.String())
+	}
+}
+
+// TestCrhbenchWorkersSweep runs the parallel-solver sweep and validates
+// that every budget's record pins the worker count and GOMAXPROCS.
+func TestCrhbenchWorkersSweep(t *testing.T) {
+	dir := t.TempDir()
+	var out, errB bytes.Buffer
+	if code := run([]string{"-workers", "1,3", "-json", dir}, &out, &errB); code != 0 {
+		t.Fatalf("exit %d (%s)", code, errB.String())
+	}
+	for _, k := range []int{1, 3} {
+		raw, err := os.ReadFile(filepath.Join(dir, "BENCH_workers-"+strconv.Itoa(k)+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec struct {
+			Name       string `json:"name"`
+			WallNs     int64  `json:"wall_ns"`
+			TableRows  int    `json:"table_rows"`
+			GoMaxProcs int    `json:"gomaxprocs"`
+			Workers    int    `json:"workers"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Workers != k || rec.GoMaxProcs < 1 {
+			t.Errorf("workers-%d record pins = %+v", k, rec)
+		}
+		if rec.WallNs <= 0 || rec.TableRows <= 0 {
+			t.Errorf("workers-%d record has empty measurements: %+v", k, rec)
+		}
+	}
+	if !strings.Contains(out.String(), "bit-identical to sequential") {
+		t.Errorf("sweep output missing cross-check line:\n%s", out.String())
+	}
+}
+
+// TestCrhbenchWorkersBad covers malformed -workers lists.
+func TestCrhbenchWorkersBad(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-workers", "1,zero"}, &out, &errB); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-workers", "0"}, &out, &errB); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }
 

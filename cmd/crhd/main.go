@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		addr      = fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
 		cacheSize = fs.Int("cache", 128, "resolve result cache capacity (entries)")
 		decay     = fs.Float64("decay", 1, "I-CRH decay rate α in [0,1] for live-ingest incremental state")
+		workers   = fs.Int("solver-workers", 0, "solver worker pool shared by all resolves (0 = GOMAXPROCS); results are identical at any setting")
 		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 		slow      = fs.Duration("slow", 500*time.Millisecond, "log requests at or above this latency at WARN level (0 disables)")
 		version   = fs.Bool("version", false, "print version information and exit")
@@ -77,7 +78,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		return 2
 	}
 
-	srv := server.New(server.Config{CacheCapacity: *cacheSize, Decay: *decay})
+	srv := server.New(server.Config{CacheCapacity: *cacheSize, Decay: *decay, SolverWorkers: *workers})
+	defer srv.Close()
 
 	for _, arg := range fs.Args() {
 		name, path, ok := strings.Cut(arg, "=")

@@ -121,6 +121,18 @@ type JSONLTrace = obs.JSONLTrace
 // schema is documented in docs/OBSERVABILITY.md.
 func NewJSONLTrace(w io.Writer) *obs.JSONLTrace { return obs.NewJSONLTrace(w) }
 
+// Pool is a reusable solver worker pool. One pool may be shared by any
+// number of concurrent Run calls (set it as Options.Pool); its size then
+// bounds total solver concurrency across them, while each run's
+// Options.Workers bounds that run's share. Sharing a pool never changes
+// results: solver output is bit-for-bit identical for every worker
+// count. See NewPool and docs/PARALLEL.md.
+type Pool = core.Pool
+
+// NewPool starts a worker pool with the given number of goroutines
+// (0 selects GOMAXPROCS). Call Close to release them.
+func NewPool(workers int) *Pool { return core.NewPool(workers) }
+
 // ErrEmptyDataset is returned by Run for datasets with no sources or
 // entries.
 var ErrEmptyDataset = core.ErrEmptyDataset
@@ -128,7 +140,8 @@ var ErrEmptyDataset = core.ErrEmptyDataset
 // Run executes the CRH framework (Algorithm 1) on a dataset: it
 // iteratively alternates source-weight estimation and truth computation
 // until the objective converges. Deterministic for a given dataset and
-// options.
+// options, and bit-for-bit identical for every Options.Workers setting
+// (the parallel engine's determinism contract; see docs/PARALLEL.md).
 func Run(d *Dataset, opts Options) (*Result, error) { return core.Run(d, opts) }
 
 // Metrics holds the paper's evaluation measures: ErrorRate over

@@ -17,6 +17,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/crhkit/crh/internal/data"
@@ -44,13 +45,21 @@ type Config struct {
 	// MaxIters bounds the number of weight/truth iterations. Defaults
 	// to 20; the paper observes convergence within a few iterations.
 	MaxIters int
-	// Parallelism is the number of worker goroutines used for the truth
-	// and loss computations, which are embarrassingly parallel across
-	// entries. 0 selects GOMAXPROCS; 1 forces sequential execution.
-	// Results are deterministic for a fixed Parallelism; across
-	// different settings continuous truths may differ by float rounding
-	// (summation order).
-	Parallelism int
+	// Workers is the per-run worker budget for the truth and loss
+	// computations, which are embarrassingly parallel across entries.
+	// 0 selects GOMAXPROCS; 1 forces sequential execution. Output is
+	// bit-for-bit identical for every Workers setting: work is split
+	// into shards whose boundaries depend only on the dataset, and
+	// per-shard partial sums are reduced in fixed shard order, so
+	// floating-point summation order never depends on the worker count
+	// or scheduling. See docs/PARALLEL.md for the contract.
+	Workers int
+	// Pool optionally supplies a reusable worker pool shared across
+	// runs (see NewPool). Concurrent Run calls may share one pool; the
+	// pool size then bounds total solver concurrency while Workers
+	// bounds each run's share of it. Nil spawns transient goroutines
+	// per run.
+	Pool *Pool
 	// Tol is the relative objective-decrease threshold for convergence.
 	// Defaults to 1e-6.
 	Tol float64
@@ -180,7 +189,8 @@ func validateGroups(groups [][]int, numProps int) error {
 }
 
 // Run executes CRH on d. It is deterministic for a given dataset and
-// configuration.
+// configuration, and its output is bit-for-bit identical for every
+// Workers setting (see Config.Workers and docs/PARALLEL.md).
 func Run(d *data.Dataset, cfg Config) (*Result, error) {
 	if d.NumSources() == 0 || d.NumEntries() == 0 {
 		return nil, ErrEmptyDataset
@@ -210,8 +220,10 @@ func Run(d *data.Dataset, cfg Config) (*Result, error) {
 	for it := 0; it < cfg.MaxIters; it++ {
 		t0 := time.Now()
 		s.updateWeights()
+		weightWorkers := s.lastWorkers
 		tW := time.Now()
 		changes := s.updateTruths(tracing)
+		truthWorkers := s.lastWorkers
 		tT := time.Now()
 		obj := s.objective()
 		tO := time.Now()
@@ -236,6 +248,8 @@ func Run(d *data.Dataset, cfg Config) (*Result, error) {
 				TruthPhase:     tT.Sub(tW),
 				ObjectivePhase: tO.Sub(tT),
 				TruthChanges:   changes,
+				WeightWorkers:  weightWorkers,
+				TruthWorkers:   truthWorkers,
 				Weights:        obs.SummarizeWeights(s.weights[0]),
 				Converged:      res.Converged,
 			})
@@ -260,6 +274,13 @@ type solver struct {
 	d       *data.Dataset
 	cfg     Config
 	workers int
+	pool    *Pool
+	// scratches recycles per-goroutine gather buffers across parallel
+	// regions; the sequential path reuses a single solver-owned scratch.
+	scratches sync.Pool
+	// lastWorkers records the worker budget engaged by the most recent
+	// parallel region — the per-phase count the solver trace reports.
+	lastWorkers int
 
 	truths *data.Table
 	// weights[g][k] is source k's weight for property group g; the
@@ -286,49 +307,79 @@ type scratch struct {
 	cats     []int
 }
 
-// forEntriesParallel partitions the entry range across the solver's
-// workers and runs fn on each partition with its own scratch and worker
-// index. With one worker it runs inline. Partitions are contiguous and
-// fixed for a given Parallelism, so per-worker results can be merged in
-// worker order to keep floating-point summation deterministic.
-func (s *solver) forEntriesParallel(fn func(sc *scratch, worker, lo, hi int)) {
-	n := s.d.NumEntries()
-	w := s.numWorkers()
-	if w <= 1 {
-		fn(&scratch{}, 0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for i := 0; i < w; i++ {
-		lo := i * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(i, lo, hi int) {
-			defer wg.Done()
-			fn(&scratch{}, i, lo, hi)
-		}(i, lo, hi)
-	}
-	wg.Wait()
-}
-
-// numWorkers returns the effective worker count for this dataset.
-func (s *solver) numWorkers() int {
+// effectiveWorkers returns the worker budget actually engaged for this
+// dataset: the configured budget clamped to the shard count (extra
+// workers would have nothing to claim).
+func (s *solver) effectiveWorkers() int {
 	w := s.workers
-	if n := s.d.NumEntries(); w > n {
-		w = n
+	if nsh := numShards(s.d.NumEntries()); w > nsh {
+		w = nsh
 	}
 	if w < 1 {
 		w = 1
 	}
 	return w
 }
+
+// forShards runs fn once per shard of the entry range, in parallel up to
+// the solver's worker budget. Shard boundaries depend only on the entry
+// count (see numShards), and fn receives the shard index so per-shard
+// partial results can be merged in shard order afterwards — the two
+// properties that make every worker count produce bit-identical output.
+// Shards are claimed dynamically (work stealing) which is safe precisely
+// because the merge happens by shard index, not by completion order.
+func (s *solver) forShards(fn func(sc *scratch, sh, lo, hi int)) {
+	n := s.d.NumEntries()
+	nsh := numShards(n)
+	w := s.effectiveWorkers()
+	s.lastWorkers = w
+	if w <= 1 {
+		sc := s.getScratch()
+		for sh := 0; sh < nsh; sh++ {
+			lo, hi := shardBounds(n, sh, nsh)
+			fn(sc, sh, lo, hi)
+		}
+		s.putScratch(sc)
+		return
+	}
+	task := func(sh int) {
+		sc := s.getScratch()
+		lo, hi := shardBounds(n, sh, nsh)
+		fn(sc, sh, lo, hi)
+		s.putScratch(sc)
+	}
+	if s.pool != nil {
+		s.pool.Do(nsh, w, task)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sh := int(next.Add(1) - 1)
+				if sh >= nsh {
+					return
+				}
+				task(sh)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// getScratch and putScratch recycle gather buffers across shards and
+// parallel regions.
+func (s *solver) getScratch() *scratch {
+	if sc, ok := s.scratches.Get().(*scratch); ok {
+		return sc
+	}
+	return &scratch{}
+}
+
+func (s *solver) putScratch(sc *scratch) { s.scratches.Put(sc) }
 
 // gatherInto collects entry e's observations into sc, returning the
 // number of observers.
@@ -350,7 +401,8 @@ func newSolver(d *data.Dataset, cfg Config) *solver {
 	s := &solver{
 		d:        d,
 		cfg:      cfg,
-		workers:  cfg.Parallelism,
+		workers:  cfg.Workers,
+		pool:     cfg.Pool,
 		truths:   data.NewTableFor(d),
 		groupOf:  make([]int, d.NumProps()),
 		dists:    make([][]float64, d.NumEntries()),
@@ -437,11 +489,11 @@ func (s *solver) gather(e int, categorical bool) int {
 // extra table reads.
 func (s *solver) updateTruths(countChanges bool) int {
 	d := s.d
-	var perWorker []int
+	var perShard []int
 	if countChanges {
-		perWorker = make([]int, s.numWorkers())
+		perShard = make([]int, numShards(d.NumEntries()))
 	}
-	s.forEntriesParallel(func(sc *scratch, worker, lo, hi int) {
+	s.forShards(func(sc *scratch, sh, lo, hi int) {
 		for e := lo; e < hi; e++ {
 			if s.cfg.KnownTruths != nil && s.cfg.KnownTruths.Has(e) {
 				v, _ := s.cfg.KnownTruths.Get(e)
@@ -466,14 +518,14 @@ func (s *solver) updateTruths(countChanges bool) int {
 			}
 			if countChanges {
 				if old, ok := s.truths.Get(e); !ok || truthChanged(p.Type, old, nv) {
-					perWorker[worker]++
+					perShard[sh]++
 				}
 			}
 			s.truths.Set(e, nv)
 		}
 	})
 	var changes int
-	for _, c := range perWorker {
+	for _, c := range perShard {
 		changes += c
 	}
 	return changes
@@ -505,19 +557,10 @@ func (s *solver) sourceLosses() ([][]float64, [][]int) {
 		sum[k] = make([]float64, M)
 		cnt[k] = make([]int, M)
 	}
-	// Per-worker partial matrices, merged in worker order after the
-	// barrier so summation order (and thus the result) is deterministic
-	// for a fixed Parallelism.
-	nw := s.numWorkers()
-	partSum := make([][][]float64, nw)
-	partCnt := make([][][]int, nw)
-	s.forEntriesParallel(func(_ *scratch, worker, lo, hi int) {
-		lsum := make([][]float64, K)
-		lcnt := make([][]int, K)
-		for k := 0; k < K; k++ {
-			lsum[k] = make([]float64, M)
-			lcnt[k] = make([]int, M)
-		}
+	// accumulate folds entries [lo, hi) into the given partial matrices —
+	// the per-shard unit of work shared by the sequential and parallel
+	// paths below.
+	accumulate := func(lsum [][]float64, lcnt [][]int, lo, hi int) {
 		for e := lo; e < hi; e++ {
 			truth, ok := s.truths.Get(e)
 			if !ok {
@@ -539,18 +582,56 @@ func (s *solver) sourceLosses() ([][]float64, [][]int) {
 				})
 			}
 		}
-		partSum[worker] = lsum
-		partCnt[worker] = lcnt
-	})
-	for w := 0; w < nw; w++ {
-		if partSum[w] == nil {
-			continue
-		}
+	}
+	merge := func(lsum [][]float64, lcnt [][]int) {
 		for k := 0; k < K; k++ {
 			for m := 0; m < M; m++ {
-				sum[k][m] += partSum[w][k][m]
-				cnt[k][m] += partCnt[w][k][m]
+				sum[k][m] += lsum[k][m]
+				cnt[k][m] += lcnt[k][m]
 			}
+		}
+	}
+
+	// Both paths compute one partial matrix per shard and merge partials
+	// in ascending shard order. Shard boundaries depend only on the entry
+	// count, so the summation order — and therefore every output bit —
+	// is identical for any worker budget, pool, or scheduling. The
+	// sequential path reuses a single partial matrix, zeroed per shard;
+	// the additions it performs are exactly the parallel merge's.
+	n := d.NumEntries()
+	nsh := numShards(n)
+	if s.effectiveWorkers() <= 1 {
+		s.lastWorkers = 1
+		lsum := make([][]float64, K)
+		lcnt := make([][]int, K)
+		for k := 0; k < K; k++ {
+			lsum[k] = make([]float64, M)
+			lcnt[k] = make([]int, M)
+		}
+		for sh := 0; sh < nsh; sh++ {
+			for k := 0; k < K; k++ {
+				clear(lsum[k])
+				clear(lcnt[k])
+			}
+			lo, hi := shardBounds(n, sh, nsh)
+			accumulate(lsum, lcnt, lo, hi)
+			merge(lsum, lcnt)
+		}
+	} else {
+		partSum := make([][][]float64, nsh)
+		partCnt := make([][][]int, nsh)
+		s.forShards(func(_ *scratch, sh, lo, hi int) {
+			lsum := make([][]float64, K)
+			lcnt := make([][]int, K)
+			for k := 0; k < K; k++ {
+				lsum[k] = make([]float64, M)
+				lcnt[k] = make([]int, M)
+			}
+			accumulate(lsum, lcnt, lo, hi)
+			partSum[sh], partCnt[sh] = lsum, lcnt
+		})
+		for sh := 0; sh < nsh; sh++ {
+			merge(partSum[sh], partCnt[sh])
 		}
 	}
 
@@ -622,7 +703,7 @@ func (s *solver) objective() float64 {
 func (s *solver) confidence() []float64 {
 	d := s.d
 	conf := make([]float64, d.NumEntries())
-	s.forEntriesParallel(func(_ *scratch, _, lo, hi int) {
+	s.forShards(func(_ *scratch, _, lo, hi int) {
 		for e := lo; e < hi; e++ {
 			truth, ok := s.truths.Get(e)
 			if !ok {

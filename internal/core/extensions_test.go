@@ -326,16 +326,17 @@ func TestCATDIntegration(t *testing.T) {
 }
 
 // TestParallelismEquivalence: the multi-worker solver must produce the
-// same truths as the sequential one (categorical exactly; continuous to
-// float tolerance, since summation order differs).
+// same truths as the sequential one. (The engine's actual guarantee is
+// stronger — bit-for-bit identity, enforced by equivalence_test.go —
+// this older test survives as an independent tolerance-level check.)
 func TestParallelismEquivalence(t *testing.T) {
 	d, _ := splitReliability(t, 9, 500)
-	seq, err := Run(d, Config{Parallelism: 1})
+	seq, err := Run(d, Config{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 7, 16} {
-		par, err := Run(d, Config{Parallelism: workers})
+		par, err := Run(d, Config{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -364,15 +365,15 @@ func TestParallelismEquivalence(t *testing.T) {
 	}
 }
 
-// TestParallelismDeterminism: a fixed Parallelism must be bit-for-bit
-// reproducible.
+// TestParallelismDeterminism: a fixed worker budget must be bit-for-bit
+// reproducible run to run.
 func TestParallelismDeterminism(t *testing.T) {
 	d, _ := splitReliability(t, 10, 300)
-	r1, err := Run(d, Config{Parallelism: 4})
+	r1, err := Run(d, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(d, Config{Parallelism: 4})
+	r2, err := Run(d, Config{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +397,7 @@ func TestParallelismMoreWorkersThanEntries(t *testing.T) {
 	p := b.MustProperty("x", data.Continuous)
 	b.ObserveIdx(b.Source("s1"), b.Object("o1"), p, data.Float(1))
 	b.ObserveIdx(b.Source("s2"), b.Object("o1"), p, data.Float(3))
-	res, err := Run(b.Build(), Config{Parallelism: 64})
+	res, err := Run(b.Build(), Config{Workers: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,8 +12,10 @@ import (
 // tolerances: the paper's iteration counts and accuracy tables
 // reproduce only while "has the objective stopped moving" is an epsilon
 // question, never an exact-bits question. Exact float equality also
-// breaks silently under the float rounding that Config.Parallelism
-// documents for summation order.
+// breaks silently whenever two mathematically equal quantities were
+// accumulated in different summation orders (permuted inputs, the
+// MapReduce shuffle) — the solver's own fixed shard-order reduction
+// (docs/PARALLEL.md) is the deliberate, tested exception.
 //
 // Allowed: comparisons against a literal 0 — the x == 0 division/
 // degenerate-input guard is exact by design (0 is the only float a sum

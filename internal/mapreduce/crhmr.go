@@ -43,7 +43,10 @@ type ParallelConfig struct {
 	// (their per-entry distributions do not fit the per-tuple mapper);
 	// the paper's defaults (0-1 loss, weighted median) are.
 	Core core.Config
-	// Mappers and Reducers size the two jobs' task pools.
+	// Mappers and Reducers size the two jobs' task pools. When zero they
+	// follow Core.Workers (the solver-wide worker budget), falling back
+	// to the engine defaults (GOMAXPROCS mappers, 4 reducers) when that
+	// is unset too, so one knob sizes the whole per-partition solve.
 	Mappers, Reducers int
 	// Model estimates what the executed job sequence would cost on a
 	// real cluster; nil selects DefaultCluster.
@@ -114,6 +117,12 @@ func RunParallel(d *data.Dataset, cfg ParallelConfig) (*ParallelResult, error) {
 	}
 	if ccfg.MaxIters == 0 {
 		ccfg.MaxIters = 20
+	}
+	if cfg.Mappers == 0 {
+		cfg.Mappers = ccfg.Workers
+	}
+	if cfg.Reducers == 0 && ccfg.Workers > 0 {
+		cfg.Reducers = ccfg.Workers
 	}
 	model := DefaultCluster()
 	if cfg.Model != nil {

@@ -87,6 +87,13 @@ type IterationTrace struct {
 	// iteration's truth update (categorical: different label; continuous:
 	// moved by more than 1e-12).
 	TruthChanges int `json:"truth_changes"`
+	// WeightWorkers and TruthWorkers are the worker budgets engaged by
+	// the iteration's weight-update and truth-update phases (1 =
+	// sequential). The budget never affects results — solver output is
+	// bit-identical for every worker count — so these exist purely to
+	// attribute phase wall times to the parallelism that produced them.
+	WeightWorkers int `json:"weight_workers"`
+	TruthWorkers  int `json:"truth_workers"` // see WeightWorkers
 	// Weights summarizes the source-weight vector after the weight
 	// update (the first property group's weights when groups are
 	// configured).

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"github.com/crhkit/crh/internal/baseline"
@@ -22,6 +24,16 @@ type Config struct {
 	// Decay is the I-CRH decay rate α for warm incremental state
 	// (default 1: retain all history).
 	Decay float64
+	// SolverWorkers sizes the solver worker pool every CRH computation
+	// (resolve requests and warm-ingest re-solves) shares, and so caps
+	// total solver concurrency regardless of how many requests are in
+	// flight (default GOMAXPROCS). Each resolve additionally gets a
+	// per-request budget of SolverWorkers divided by the computations
+	// currently in flight, so one request saturates the machine while
+	// concurrent requests split it instead of oversubscribing. Worker
+	// counts never affect results — the solver is bit-identical for any
+	// budget — so caching and coalescing stay sound at every setting.
+	SolverWorkers int
 }
 
 // Server is the crhd HTTP subsystem: registry + result cache + request
@@ -34,6 +46,13 @@ type Server struct {
 	stats    *Stats
 	metrics  *obs.Registry
 	mux      *http.ServeMux
+
+	// pool is the shared solver worker pool; solverWorkers its size and
+	// inflight the number of resolve computations currently running
+	// (coalesced followers and cache hits excluded).
+	pool          *core.Pool
+	solverWorkers int
+	inflight      atomic.Int64
 }
 
 // New returns a ready-to-serve Server.
@@ -44,19 +63,33 @@ func New(cfg Config) *Server {
 	if cfg.Decay == 0 {
 		cfg.Decay = 1
 	}
+	if cfg.SolverWorkers <= 0 {
+		cfg.SolverWorkers = runtime.GOMAXPROCS(0)
+	}
 	metrics := obs.NewRegistry()
 	s := &Server{
-		registry: NewRegistry(cfg.Decay),
-		cache:    newResultCache(cfg.CacheCapacity),
-		flights:  newFlightGroup(),
-		stats:    NewStats(metrics),
-		metrics:  metrics,
-		mux:      http.NewServeMux(),
+		registry:      NewRegistry(cfg.Decay),
+		cache:         newResultCache(cfg.CacheCapacity),
+		flights:       newFlightGroup(),
+		stats:         NewStats(metrics),
+		metrics:       metrics,
+		mux:           http.NewServeMux(),
+		pool:          core.NewPool(cfg.SolverWorkers),
+		solverWorkers: cfg.SolverWorkers,
 	}
 	// Ingest batches advance warm I-CRH state through the streaming
 	// processor; one shared counter set aggregates that load across all
-	// datasets.
+	// datasets. The warm re-solves share the resolve pool so ingest and
+	// resolve traffic contend for the same bounded worker budget.
 	s.registry.streamCfg.Metrics = stream.NewMetrics(metrics)
+	s.registry.streamCfg.Core.Workers = cfg.SolverWorkers
+	s.registry.streamCfg.Core.Pool = s.pool
+	metrics.NewGaugeFunc("crhd_solver_workers", "size of the shared solver worker pool", func() float64 {
+		return float64(s.solverWorkers)
+	})
+	metrics.NewGaugeFunc("crhd_resolve_inflight", "resolve computations currently running", func() float64 {
+		return float64(s.inflight.Load())
+	})
 	metrics.NewGaugeFunc("crhd_cache_entries", "resolve results currently cached", func() float64 {
 		return float64(s.cache.len())
 	})
@@ -93,6 +126,24 @@ func (s *Server) Stats() *Stats { return s.stats }
 // Metrics exposes the server's metric registry — the one behind
 // GET /metrics — so the binary can attach process-level gauges.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Close releases the shared solver worker pool. Call it after the HTTP
+// server has drained; it must not run concurrently with live requests.
+func (s *Server) Close() { s.pool.Close() }
+
+// solverBudget splits the pool across the n computations now in flight:
+// a lone request gets every worker, concurrent ones fair shares, and
+// nobody drops below one (the sequential floor).
+func (s *Server) solverBudget(n int64) int {
+	if n < 1 {
+		n = 1
+	}
+	w := s.solverWorkers / int(n)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 type errorJSON struct {
 	Error string `json:"error"`
@@ -261,7 +312,12 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	s.stats.cacheMisses.Add(1)
 
 	resp, err, shared := s.flights.do(key, func() (*ResolveResponse, error) {
-		resp, err := compute(e.name, snap, req, method)
+		// The worker budget is settled at compute start: the pool split
+		// by the computations then in flight. Later arrivals shrink only
+		// their own budgets (and totals are bounded by the pool anyway).
+		n := s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		resp, err := compute(e.name, snap, req, method, s.solverBudget(n), s.pool)
 		if err == nil {
 			s.cache.add(key, resp)
 		}
@@ -280,8 +336,11 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // compute runs the requested method on a pinned snapshot and shapes the
-// response. It holds no locks — the snapshot is immutable.
-func compute(name string, snap *Snapshot, req *ResolveRequest, method baseline.Method) (*ResolveResponse, error) {
+// response. It holds no locks — the snapshot is immutable. workers and
+// pool carry the request's solver budget and the server's shared pool;
+// neither influences the result (the solver is bit-identical for any
+// worker count), only how fast it arrives.
+func compute(name string, snap *Snapshot, req *ResolveRequest, method baseline.Method, workers int, pool *core.Pool) (*ResolveResponse, error) {
 	resp := &ResolveResponse{Dataset: name, Version: snap.Version, Method: req.Method}
 	d := snap.Data
 	var truths *data.Table
@@ -293,6 +352,7 @@ func compute(name string, snap *Snapshot, req *ResolveRequest, method baseline.M
 		if err != nil {
 			return nil, err
 		}
+		cfg.Workers, cfg.Pool = workers, pool
 		res, err := core.Run(d, cfg)
 		if err != nil {
 			return nil, err

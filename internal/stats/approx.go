@@ -2,10 +2,12 @@ package stats
 
 import "math"
 
-// DefaultEqTol is the tolerance ApproxEq uses: wide enough to absorb the
-// summation-order rounding that parallel or map-ordered accumulation
-// introduces (documented on core.Config.Parallelism), narrow enough that
-// genuinely different losses and objectives never compare equal.
+// DefaultEqTol is the tolerance ApproxEq uses: wide enough to absorb
+// summation-order rounding between mathematically equivalent but
+// differently ordered accumulations (e.g. a permuted dataset, or the
+// map-ordered MapReduce shuffle — the solver itself is bit-identical for
+// every core.Config.Workers setting), narrow enough that genuinely
+// different losses and objectives never compare equal.
 const DefaultEqTol = 1e-9
 
 // ApproxEq reports whether a and b are equal within DefaultEqTol. It is

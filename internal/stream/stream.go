@@ -70,7 +70,11 @@ func ChunksByWindow(d *data.Dataset, window int) ([]Chunk, error) {
 type Config struct {
 	// Core carries the loss functions, weight scheme and normalization
 	// flags shared with batch CRH. Iteration fields are ignored — I-CRH
-	// runs one pass per chunk.
+	// runs one pass per chunk — but Core.Workers and Core.Pool are
+	// honored: each chunk's truth pass and loss accumulation run on the
+	// parallel engine, with output bit-identical at any worker count
+	// (crhd points Pool at its shared resolve pool so warm re-solves
+	// respect the server-wide solver budget).
 	Core core.Config
 	// Decay is the rate α ∈ [0, 1] applied to the accumulated distances
 	// before each chunk is added: a_k ← α·a_k + loss_k. Smaller values

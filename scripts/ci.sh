@@ -6,9 +6,15 @@
 #                      detector (incl. the obs/server concurrency hammers)
 #   2. make lint       redundant with check, but prints lint findings on
 #                      their own so a lint failure is easy to spot in logs
-#   3. make racehammer the obs/server concurrency hammers again, on their
-#                      own so a data race is attributed in the logs
-#   4. gofmt -l        fails if any tracked Go file is unformatted
+#   3. make racehammer the core/obs/server concurrency hammers again, on
+#                      their own so a data race is attributed in the logs
+#   4. equivalence     the parallel-vs-sequential bit-identity suite on
+#                      its own (docs/PARALLEL.md's contract), so a
+#                      determinism regression is named in the logs
+#   5. make fuzz       a short coverage-guided fuzz pass over the decoder
+#                      and the solver (the committed corpora already ran
+#                      as plain tests inside make check)
+#   6. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -24,6 +30,12 @@ make lint
 
 echo "==> make racehammer"
 make racehammer
+
+echo "==> equivalence suite"
+go test -run 'TestEquivalence|TestMetamorphic' -count=1 ./internal/core/
+
+echo "==> fuzz (short)"
+make fuzz FUZZTIME=5s
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
