@@ -7,12 +7,14 @@
 #   make racehammer concurrency hammer tests (core + obs + server), repeated
 #   make fuzz       short fuzz pass over every fuzz target (committed
 #                   corpora always run as part of `make test` already)
+#   make walcheck   kill -9 a crhd subprocess mid-ingest and prove the
+#                   recovered state is bit-identical to an uncrashed replay
 #   make crhd       build the truth-discovery server binary
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race bench benchjson racehammer fuzz crhd clean
+.PHONY: check build vet lint test race bench benchjson racehammer fuzz walcheck crhd clean
 
 check: build vet lint race racehammer
 
@@ -37,6 +39,7 @@ bench:
 benchjson:
 	$(GO) run ./cmd/crhbench -exp all -scale small -json .
 	$(GO) run ./cmd/crhbench -workers 1,2,4,8 -scale small -json .
+	$(GO) run ./cmd/crhbench -ingest off,interval,batch -json .
 
 racehammer:
 	$(GO) test -race -count=2 -run 'Concurrent|Hammer' ./internal/core/... ./internal/obs/... ./internal/server/...
@@ -46,6 +49,10 @@ racehammer:
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/data/
 	$(GO) test -fuzz=FuzzRunSmall -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz=FuzzWALRecord -fuzztime=$(FUZZTIME) ./internal/wal/
+
+walcheck:
+	$(GO) run ./cmd/walcheck
 
 crhd:
 	$(GO) build -o bin/crhd ./cmd/crhd

@@ -6,6 +6,7 @@
 //	crhbench -exp all -scale full  # everything at the paper's scale
 //	crhbench -exp all -json .      # also write BENCH_<id>.json per experiment
 //	crhbench -workers 1,2,4,8      # parallel-solver sweep over worker budgets
+//	crhbench -ingest off,interval,batch  # WAL append throughput per fsync policy
 //	crhbench -list                 # enumerate experiment IDs
 //
 // Small scale shrinks the large simulations so every experiment finishes
@@ -24,6 +25,12 @@
 // writes one BENCH_workers-<k>.json per budget. Every record pins
 // gomaxprocs and workers; sweep numbers are only comparable between
 // records agreeing on both.
+//
+// With -ingest, crhbench measures durable WAL append throughput (the
+// internal/wal substrate behind crhd's -data-dir) once per listed fsync
+// policy, verifies each log replays bit-identically, and — with -json —
+// writes one BENCH_ingest-<policy>.json per policy with an obs_per_sec
+// field.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -43,6 +51,7 @@ import (
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/experiments"
 	"github.com/crhkit/crh/internal/obs/buildinfo"
+	"github.com/crhkit/crh/internal/wal"
 )
 
 func main() {
@@ -77,6 +86,12 @@ type benchRecord struct {
 	// diff records that agree on both fields.
 	GoMaxProcs int `json:"gomaxprocs"`
 	Workers    int `json:"workers"`
+	// ObsPerSec is the sustained observation throughput of an ingest
+	// sweep record (BENCH_ingest-<fsync>.json); zero elsewhere. Fsync
+	// names the WAL fsync policy the rate was measured under — rates are
+	// only comparable between records agreeing on it.
+	ObsPerSec float64 `json:"obs_per_sec,omitempty"`
+	Fsync     string  `json:"fsync,omitempty"` // see ObsPerSec
 }
 
 // runMeasured executes one experiment, rendering its report to stdout
@@ -202,6 +217,147 @@ func runWorkersSweep(list string, s experiments.Scale, scaleName, jsonDir string
 	return 0
 }
 
+// ingestStream builds a deterministic observation stream for the WAL
+// append benchmark: batches of mixed continuous/categorical claims over
+// a rotating source/object pool, the same shape crhd's live ingest sees.
+func ingestStream(batches, obsPerBatch int) [][]wal.Obs {
+	rng := rand.New(rand.NewSource(7))
+	conds := []string{"sunny", "rain", "snow", "fog"}
+	out := make([][]wal.Obs, batches)
+	for i := range out {
+		batch := make([]wal.Obs, obsPerBatch)
+		for j := range batch {
+			o := wal.Obs{
+				Source: fmt.Sprintf("s%02d", rng.Intn(40)),
+				Object: fmt.Sprintf("o%04d", rng.Intn(5000)),
+			}
+			if rng.Intn(3) == 0 {
+				o.Property, o.Kind = "cond", wal.Categorical
+				o.Cat = conds[rng.Intn(len(conds))]
+			} else {
+				o.Property, o.Kind = "temp", wal.Continuous
+				o.F = rng.NormFloat64()*12 + 20
+			}
+			if rng.Intn(4) == 0 {
+				o.TS, o.HasTS = i, true
+			}
+			batch[j] = o
+		}
+		out[i] = batch
+	}
+	return out
+}
+
+// runIngestSweep measures durable WAL append throughput once per fsync
+// policy, then replays each log and cross-checks the recovered stream
+// bit-for-bit against what was appended before any record is written.
+// crhbench is the one binary outside internal/server allowed to import
+// internal/wal, precisely for this benchmark (docs/LINT.md).
+func runIngestSweep(list, jsonDir string, stdout, stderr io.Writer) int {
+	const batches, obsPerBatch = 2000, 50
+	stream := ingestStream(batches, obsPerBatch)
+	fmt.Fprintf(stdout, "ingest sweep: %d batches x %d observations, gomaxprocs=%d\n",
+		batches, obsPerBatch, runtime.GOMAXPROCS(0))
+	for _, field := range strings.Split(list, ",") {
+		policy, err := wal.ParseFsyncPolicy(strings.TrimSpace(field))
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 2
+		}
+		dir, err := os.MkdirTemp("", "crhbench-ingest-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+
+		l, _, err := wal.OpenLog(dir, wal.Options{Fsync: policy})
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		for i, b := range stream {
+			if err := l.AppendBatch(int64(i+2), b); err != nil {
+				fmt.Fprintf(stderr, "crhbench: append under fsync=%s: %v\n", policy, err)
+				return 1
+			}
+		}
+		if err := l.Close(); err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+
+		// Replay integrity: the log must hand back the exact stream.
+		l2, replayed, err := wal.OpenLog(dir, wal.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: reopen under fsync=%s: %v\n", policy, err)
+			return 1
+		}
+		l2.Close()
+		if len(replayed) != len(stream) {
+			fmt.Fprintf(stderr, "crhbench: fsync=%s replayed %d of %d batches\n", policy, len(replayed), len(stream))
+			return 1
+		}
+		for i, b := range replayed {
+			if err := sameObs(stream[i], b.Obs); err != nil {
+				fmt.Fprintf(stderr, "crhbench: fsync=%s batch %d diverged on replay: %v\n", policy, i, err)
+				return 1
+			}
+		}
+
+		totalObs := batches * obsPerBatch
+		rate := float64(totalObs) / wall.Seconds()
+		fmt.Fprintf(stdout, "fsync=%-8s %8.0f obs/sec (%v for %d observations), replay bit-identical\n",
+			policy, rate, wall.Round(time.Millisecond), totalObs)
+		if jsonDir == "" {
+			continue
+		}
+		rec := benchRecord{
+			Name:         "ingest-" + policy.String(),
+			Caption:      fmt.Sprintf("Durable WAL append throughput, fsync=%s", policy),
+			Scale:        "small",
+			Runs:         batches,
+			WallNs:       wall.Nanoseconds(),
+			NsPerOp:      wall.Nanoseconds() / int64(batches),
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			AllocObjects: after.Mallocs - before.Mallocs,
+			TableRows:    totalObs,
+			GoVersion:    runtime.Version(),
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			ObsPerSec:    rate,
+			Fsync:        policy.String(),
+		}
+		if err := writeRecord(jsonDir, rec); err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "crhbench: wrote %s\n", filepath.Join(jsonDir, "BENCH_"+rec.Name+".json"))
+	}
+	return 0
+}
+
+// sameObs reports the first divergence between two observation slices
+// (Float64bits comparison for continuous values), or nil.
+func sameObs(want, got []wal.Obs) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("%d vs %d observations", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Source != g.Source || w.Object != g.Object || w.Property != g.Property ||
+			w.Kind != g.Kind || w.Cat != g.Cat || w.TS != g.TS || w.HasTS != g.HasTS ||
+			math.Float64bits(w.F) != math.Float64bits(g.F) {
+			return fmt.Errorf("observation %d: %+v vs %+v", i, w, g)
+		}
+	}
+	return nil
+}
+
 // run is the testable entry point; it returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("crhbench", flag.ContinueOnError)
@@ -211,6 +367,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	jsonDir := fs.String("json", "", "write a BENCH_<id>.json record per experiment to this directory")
 	workersList := fs.String("workers", "", "comma-separated solver worker budgets: time the Bank workload per budget instead of running experiments")
+	ingestList := fs.String("ingest", "", "comma-separated WAL fsync policies (off,interval,batch): measure durable append throughput per policy instead of running experiments")
 	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -239,6 +396,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *ingestList != "" {
+		return runIngestSweep(*ingestList, *jsonDir, stdout, stderr)
+	}
 	if *workersList != "" {
 		return runWorkersSweep(*workersList, s, *scale, *jsonDir, stdout, stderr)
 	}

@@ -62,6 +62,10 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		cacheSize = fs.Int("cache", 128, "resolve result cache capacity (entries)")
 		decay     = fs.Float64("decay", 1, "I-CRH decay rate α in [0,1] for live-ingest incremental state")
 		workers   = fs.Int("solver-workers", 0, "solver worker pool shared by all resolves (0 = GOMAXPROCS); results are identical at any setting")
+		dataDir   = fs.String("data-dir", "", "durable ingest directory (WAL + snapshots per dataset); empty = memory-only (docs/DURABILITY.md)")
+		fsync     = fs.String("fsync", "batch", "WAL fsync policy: batch (every ingest), interval, or off")
+		fsyncIvl  = fs.Duration("fsync-interval", 100*time.Millisecond, "minimum spacing between fsyncs under -fsync=interval")
+		snapEvery = fs.Int("snapshot-every", 128, "write a snapshot (and compact the WAL) every N ingested batches")
 		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 		slow      = fs.Duration("slow", 500*time.Millisecond, "log requests at or above this latency at WARN level (0 disables)")
 		version   = fs.Bool("version", false, "print version information and exit")
@@ -78,14 +82,36 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		return 2
 	}
 
-	srv := server.New(server.Config{CacheCapacity: *cacheSize, Decay: *decay, SolverWorkers: *workers})
+	srv, err := server.New(server.Config{
+		CacheCapacity: *cacheSize,
+		Decay:         *decay,
+		SolverWorkers: *workers,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
+		FsyncInterval: *fsyncIvl,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "crhd: %v\n", err)
+		return 1
+	}
 	defer srv.Close()
+	if *dataDir != "" {
+		fmt.Fprintf(stderr, "crhd: durable ingest in %s (fsync=%s), %d dataset(s) recovered\n",
+			*dataDir, *fsync, srv.Registry().Count())
+	}
 
 	for _, arg := range fs.Args() {
 		name, path, ok := strings.Cut(arg, "=")
 		if !ok {
 			fmt.Fprintf(stderr, "crhd: preload argument %q is not name=path.tsv\n", arg)
 			return 2
+		}
+		if _, exists := srv.Registry().Get(name); exists {
+			// Recovered from -data-dir; the durable state wins so a
+			// restart with the same command line keeps ingested batches.
+			fmt.Fprintf(stderr, "crhd: dataset %q recovered from data dir, skipping preload of %s\n", name, path)
+			continue
 		}
 		f, err := os.Open(path)
 		if err != nil {

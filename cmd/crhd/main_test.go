@@ -220,6 +220,82 @@ func TestSmoke(t *testing.T) {
 	}
 }
 
+// TestDurableRestart boots crhd with -data-dir, ingests, shuts down
+// gracefully, boots a second crhd with the same command line, and checks
+// the dataset came back at its pre-shutdown version with the ingested
+// data (the preload arg is skipped in favor of the recovered state).
+func TestDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	tsvPath := filepath.Join(dir, "weather.tsv")
+	if err := os.WriteFile(tsvPath, []byte(smokeTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "data")
+	args := []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir, "-fsync", "interval", "weather=" + tsvPath}
+
+	boot := func() (base string, cancel context.CancelFunc, done chan int, stderr *syncBuffer) {
+		ctx, stop := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done = make(chan int, 1)
+		stderr = &syncBuffer{}
+		go func() { done <- run(ctx, args, stderr, ready) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, stop, done, stderr
+		case code := <-done:
+			t.Fatalf("server exited early with code %d: %s", code, stderr.String())
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not become ready")
+		}
+		panic("unreachable")
+	}
+	shutdown := func(cancel context.CancelFunc, done chan int, stderr *syncBuffer) {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Fatalf("exit code %d: %s", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+
+	base, cancel, done, stderr := boot()
+	ingest := `{"observations":[{"source":"s1","object":"o9","property":"temp","value":42}]}`
+	resp, err := http.Post(base+"/v1/datasets/weather/observations", "application/json", strings.NewReader(ingest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	shutdown(cancel, done, stderr)
+
+	base, cancel, done, stderr = boot()
+	defer shutdown(cancel, done, stderr)
+	var info struct {
+		Version      int64 `json:"version"`
+		Observations int   `json:"observations"`
+	}
+	resp, err = http.Get(base + "/v1/datasets/weather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Version != 2 || info.Observations != 9 {
+		t.Fatalf("recovered dataset: %+v (stderr: %s)", info, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "recovered from data dir, skipping preload") {
+		t.Errorf("preload of a recovered dataset was not skipped: %s", stderr.String())
+	}
+}
+
 // TestBadFlags covers the CLI error paths.
 func TestBadFlags(t *testing.T) {
 	ctx := context.Background()

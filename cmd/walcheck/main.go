@@ -1,0 +1,296 @@
+// Command walcheck is the crash-recovery harness for crhd's durable
+// ingest (docs/DURABILITY.md). Each round it:
+//
+//  1. starts a crhd subprocess with -data-dir and -fsync=batch,
+//  2. streams deterministic observation batches into it over HTTP,
+//  3. SIGKILLs the process mid-stream — no shutdown hook runs,
+//  4. restarts crhd over the same data directory,
+//  5. asserts the recovered version covers every acknowledged batch
+//     (at most one unacknowledged in-flight batch may additionally
+//     survive), and
+//  6. replays the same prefix of batches into a fresh memory-only crhd
+//     and compares /v1/resolve and /v1/datasets/{name}/incremental
+//     byte-for-byte — JSON renders float64 exactly, so byte equality is
+//     Float64bits equality.
+//
+// Exits 0 when every round holds, 1 otherwise. Run via `make walcheck`.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		rounds  = flag.Int("rounds", 3, "kill/recover rounds")
+		batches = flag.Int("batches", 120, "max batches to stream per round")
+		killAt  = flag.Int("kill-after", 40, "SIGKILL once this many batches are acknowledged")
+		fsync   = flag.String("fsync", "batch", "crhd -fsync policy under test")
+		seed    = flag.Int64("seed", 1, "base PRNG seed for batch generation")
+	)
+	flag.Parse()
+
+	work, err := os.MkdirTemp("", "walcheck-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walcheck: %v\n", err)
+		return 1
+	}
+	defer os.RemoveAll(work)
+
+	bin := filepath.Join(work, "crhd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/crhd")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "walcheck: build crhd: %v\n", err)
+		return 1
+	}
+
+	for round := 0; round < *rounds; round++ {
+		if err := oneRound(bin, work, round, *batches, *killAt, *fsync, *seed+int64(round)); err != nil {
+			fmt.Fprintf(os.Stderr, "walcheck: round %d: %v\n", round, err)
+			return 1
+		}
+		fmt.Printf("walcheck: round %d ok (fsync=%s)\n", round, *fsync)
+	}
+	fmt.Println("walcheck: crash recovery holds — recovered state bit-identical to an uncrashed replay")
+	return 0
+}
+
+// crhdProc is one running crhd subprocess.
+type crhdProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startCrhd launches crhd and waits for its listen line.
+func startCrhd(bin string, args ...string) (*crhdProc, error) {
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "crhd: listening on "); ok {
+				select {
+				case addrc <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return &crhdProc{cmd: cmd, base: "http://" + addr}, nil
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("crhd did not report a listen address")
+	}
+}
+
+// kill SIGKILLs the subprocess — the crash under test — and reaps it.
+func (p *crhdProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+func (p *crhdProc) post(path, body string) (int, []byte, error) {
+	resp, err := http.Post(p.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+func (p *crhdProc) get(path string) (int, []byte, error) {
+	resp, err := http.Get(p.base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// batchJSON renders deterministic batch i of the round's stream: two to
+// four observations mixing continuous and categorical claims from a
+// small rotating source pool.
+func batchJSON(rng *rand.Rand, i int) string {
+	type obsJSON struct {
+		Source   string `json:"source"`
+		Object   string `json:"object"`
+		Property string `json:"property"`
+		Value    any    `json:"value"`
+	}
+	n := 2 + rng.Intn(3)
+	obs := make([]obsJSON, n)
+	for j := range obs {
+		o := obsJSON{
+			Source: fmt.Sprintf("s%d", rng.Intn(5)),
+			Object: fmt.Sprintf("o%d", rng.Intn(7)),
+		}
+		if rng.Intn(2) == 0 {
+			o.Property = "temp"
+			o.Value = float64(rng.Intn(4000))/100 + float64(i)
+		} else {
+			o.Property = "cond"
+			o.Value = []string{"sunny", "rain", "snow", "fog"}[rng.Intn(4)]
+		}
+		obs[j] = o
+	}
+	raw, _ := json.Marshal(map[string]any{"observations": obs})
+	return string(raw)
+}
+
+func oneRound(bin, work string, round, batches, killAt int, fsync string, seed int64) error {
+	dataDir := filepath.Join(work, fmt.Sprintf("data-%d", round))
+
+	// Pre-render the whole stream so the reference replay sees the exact
+	// same bytes.
+	rng := rand.New(rand.NewSource(seed))
+	stream := make([]string, batches)
+	for i := range stream {
+		stream[i] = batchJSON(rng, i)
+	}
+
+	victim, err := startCrhd(bin, "-data-dir", dataDir, "-fsync", fsync)
+	if err != nil {
+		return err
+	}
+	defer victim.kill()
+	if code, body, err := victim.post("/v1/datasets/ds", ""); err != nil || code != http.StatusCreated {
+		return fmt.Errorf("create: %d %s %v", code, body, err)
+	}
+
+	// Stream batches; fire the SIGKILL asynchronously once killAt are
+	// acknowledged so the crash lands with an ingest likely in flight.
+	var mu sync.Mutex
+	acked := 0
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		for {
+			mu.Lock()
+			n := acked
+			mu.Unlock()
+			if n >= killAt {
+				victim.kill()
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	sent := 0
+	for _, b := range stream {
+		sent++
+		code, _, err := victim.post("/v1/datasets/ds/observations", b)
+		if err != nil || code != http.StatusOK {
+			break // the kill landed (connection refused or mid-request)
+		}
+		mu.Lock()
+		acked++
+		mu.Unlock()
+	}
+	<-killed
+	mu.Lock()
+	ackedFinal := acked
+	mu.Unlock()
+	if ackedFinal < killAt {
+		return fmt.Errorf("only %d batches acknowledged before the stream ended", ackedFinal)
+	}
+
+	// Restart over the same directory.
+	revived, err := startCrhd(bin, "-data-dir", dataDir, "-fsync", fsync)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer revived.kill()
+	code, raw, err := revived.get("/v1/datasets/ds")
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("recovered info: %d %s %v", code, raw, err)
+	}
+	var info struct {
+		Version int64 `json:"version"`
+	}
+	if err := json.Unmarshal(raw, &info); err != nil {
+		return err
+	}
+	// Version 1 is the create; batch k acknowledges version k+1. Every
+	// acknowledged batch must have survived; at most the one in-flight
+	// unacknowledged batch may additionally be durable.
+	minV, maxV := int64(ackedFinal)+1, int64(sent)+1
+	if info.Version < minV || info.Version > maxV {
+		return fmt.Errorf("recovered version %d outside [%d, %d] (acked %d, sent %d)",
+			info.Version, minV, maxV, ackedFinal, sent)
+	}
+
+	// Reference: an uncrashed memory-only crhd fed the same prefix.
+	ref, err := startCrhd(bin)
+	if err != nil {
+		return err
+	}
+	defer ref.kill()
+	if code, body, err := ref.post("/v1/datasets/ds", ""); err != nil || code != http.StatusCreated {
+		return fmt.Errorf("reference create: %d %s %v", code, body, err)
+	}
+	for i := int64(0); i < info.Version-1; i++ {
+		if code, body, err := ref.post("/v1/datasets/ds/observations", stream[i]); err != nil || code != http.StatusOK {
+			return fmt.Errorf("reference ingest %d: %d %s %v", i, code, body, err)
+		}
+	}
+
+	// Bit-identical serving state: full CRH resolve and warm I-CRH
+	// truths/weights. Byte equality of the JSON is Float64bits equality.
+	for _, probe := range []struct{ what, path, body string }{
+		{"resolve", "/v1/datasets/ds/resolve", "{}"},
+		{"incremental", "/v1/datasets/ds/incremental", ""},
+	} {
+		var got, want []byte
+		if probe.body != "" {
+			_, got, err = revived.post(probe.path, probe.body)
+		} else {
+			_, got, err = revived.get(probe.path)
+		}
+		if err != nil {
+			return fmt.Errorf("%s after recovery: %w", probe.what, err)
+		}
+		if probe.body != "" {
+			_, want, err = ref.post(probe.path, probe.body)
+		} else {
+			_, want, err = ref.get(probe.path)
+		}
+		if err != nil {
+			return fmt.Errorf("reference %s: %w", probe.what, err)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("%s diverged after crash recovery:\nrecovered: %s\nreference: %s", probe.what, got, want)
+		}
+	}
+	return nil
+}

@@ -7,10 +7,11 @@ import (
 
 // exportedDocScope lists the module-relative directories whose exported
 // surface must be fully documented: the public root package, the server
-// options/config surface, and the baseline method registry. These are
-// the packages whose identifiers users and the HTTP API's JSON shapes
+// options/config surface, the baseline method registry, and the
+// observability and durability substrates. These are the packages whose
+// identifiers users, the HTTP API's JSON shapes, and the on-disk format
 // are built against.
-var exportedDocScope = []string{"", "internal/server", "internal/baseline", "internal/obs"}
+var exportedDocScope = []string{"", "internal/server", "internal/baseline", "internal/obs", "internal/wal"}
 
 // ExportedDoc flags undocumented exported identifiers in the public
 // root package, internal/server, and internal/baseline: package-level

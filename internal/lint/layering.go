@@ -25,8 +25,13 @@ var layerRules = []layerRule{
 	},
 	{
 		From:      []string{"internal/obs"},
-		Forbidden: []string{"internal/core", "internal/server", "internal/stream", "internal/experiments", "internal/mapreduce", "internal/baseline", "internal/data"},
+		Forbidden: []string{"internal/core", "internal/server", "internal/stream", "internal/experiments", "internal/mapreduce", "internal/baseline", "internal/data", "internal/wal"},
 		Why:       "observability is a substrate every layer may instrument with; a cycle back into the instrumented layers would make that impossible",
+	},
+	{
+		From:      []string{"internal/wal"},
+		Forbidden: []string{"internal/core", "internal/server", "internal/stream", "internal/experiments", "internal/mapreduce", "internal/baseline", "internal/data", "internal/stats", "internal/loss"},
+		Why:       "the durability substrate stores framed bytes; the server converts at its boundary, so wal stays below every model and solver layer (docs/DURABILITY.md)",
 	},
 }
 
@@ -37,6 +42,15 @@ const serverDir = "internal/server"
 // import internal/server: the subsystem itself and the crhd binary
 // (tests included — test files share their directory's privilege).
 var serverImporters = []string{serverDir, "cmd/crhd"}
+
+// walDir is the durability substrate; walImporters the directories
+// allowed to import it: the package itself, the server subsystem that
+// owns the durable ingest path, and cmd/crhbench, whose -ingest sweep
+// benchmarks WAL append throughput directly (the one sanctioned
+// exemption — see docs/DURABILITY.md).
+const walDir = "internal/wal"
+
+var walImporters = []string{walDir, serverDir, "cmd/crhbench"} // see walDir
 
 // Layering enforces the repository's import DAG: internal/{stats,loss,
 // data} must not import internal/{core,server,experiments}, internal/obs
@@ -74,6 +88,13 @@ func runLayering(pass *Pass) {
 					from = "the root package"
 				}
 				pass.Reportf(imp.Pos(), "%s must not import %s: the server subsystem is private to cmd/crhd; use the HTTP API", from, serverDir)
+			}
+			if underAny(target, []string{walDir}) && !underAny(rel, walImporters) {
+				from := rel
+				if from == "" {
+					from = "the root package"
+				}
+				pass.Reportf(imp.Pos(), "%s must not import %s: the durability substrate is private to internal/server (cmd/crhbench's append benchmark excepted)", from, walDir)
 			}
 		}
 	}

@@ -1,0 +1,14 @@
+// Package wal is in the analyzer's scope: its exported surface defines
+// the durable on-disk format.
+package wal
+
+// Obs is documented.
+type Obs struct {
+	// Source is documented.
+	Source string
+	// want+2 "exported field Obs.Object has no doc comment"
+
+	Object string
+}
+
+func OpenLog() {} // want "exported function OpenLog has no doc comment"

@@ -1,0 +1,9 @@
+// The crhbench binary holds the one sanctioned internal/wal exemption:
+// its -ingest sweep benchmarks WAL append throughput directly.
+package main
+
+import (
+	_ "github.com/crhkit/crh/internal/wal"
+)
+
+func main() {}

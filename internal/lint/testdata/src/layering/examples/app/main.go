@@ -3,6 +3,7 @@ package main
 
 import (
 	_ "github.com/crhkit/crh/internal/server" // want "examples/app must not import internal/server"
+	_ "github.com/crhkit/crh/internal/wal"    // want "examples/app must not import internal/wal"
 )
 
 func main() {}

@@ -7,4 +7,5 @@ import (
 
 	_ "github.com/crhkit/crh/internal/core"   // want "internal/obs must not import internal/core"
 	_ "github.com/crhkit/crh/internal/stream" // want "internal/obs must not import internal/stream"
+	_ "github.com/crhkit/crh/internal/wal"    // want "internal/obs must not import internal/wal" "internal/obs must not import internal/wal: the durability substrate is private to internal/server"
 )

@@ -1,6 +1,8 @@
-// Package server may use the solver; only cmd/crhd may use it.
+// Package server may use the solver and owns the durable ingest path;
+// only cmd/crhd may use it.
 package server
 
 import (
 	_ "github.com/crhkit/crh/internal/core"
+	_ "github.com/crhkit/crh/internal/wal"
 )

@@ -1,0 +1,10 @@
+// Package wal is the durability substrate: it stores framed bytes and
+// must stay below every model and solver layer.
+package wal
+
+import (
+	_ "os" // stdlib is always fine
+
+	_ "github.com/crhkit/crh/internal/core" // want "internal/wal must not import internal/core"
+	_ "github.com/crhkit/crh/internal/obs"  // substrate-on-substrate instrumentation is allowed
+)

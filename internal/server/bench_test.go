@@ -22,7 +22,10 @@ func benchServer(b *testing.B) *Server {
 	if err := data.Encode(&buf, d, nil); err != nil {
 		b.Fatal(err)
 	}
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	if _, err := s.registry.Create("bench", &buf); err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crhkit/crh/internal/data"
+	"github.com/crhkit/crh/internal/stream"
+	"github.com/crhkit/crh/internal/wal"
+)
+
+// This file is the bridge between the registry's in-memory model and the
+// durable store in internal/wal: type conversions, snapshot capture, and
+// boot-time recovery. The recovery contract is exact — a recovered entry
+// is bit-for-bit identical (snapshot data, warm truths, source weights)
+// to the entry the crashed process held at the last acknowledged version,
+// because replayed WAL batches flow through the same entry.apply path as
+// live ingest (docs/DURABILITY.md).
+
+func kindOf(t data.Type) wal.Kind {
+	if t == data.Categorical {
+		return wal.Categorical
+	}
+	return wal.Continuous
+}
+
+func typeOf(k wal.Kind) data.Type {
+	if k == wal.Categorical {
+		return data.Categorical
+	}
+	return data.Continuous
+}
+
+func recsToWAL(recs []obsRec) []wal.Obs {
+	out := make([]wal.Obs, len(recs))
+	for i, r := range recs {
+		out[i] = wal.Obs{
+			Source:   r.src,
+			Object:   r.obj,
+			Property: r.prop,
+			Kind:     kindOf(r.typ),
+			F:        r.f,
+			Cat:      r.cat,
+			TS:       r.ts,
+			HasTS:    r.hasTS,
+		}
+	}
+	return out
+}
+
+func walToRecs(obs []wal.Obs) []obsRec {
+	out := make([]obsRec, len(obs))
+	for i, o := range obs {
+		out[i] = obsRec{
+			src:   o.Source,
+			obj:   o.Object,
+			prop:  o.Property,
+			typ:   typeOf(o.Kind),
+			f:     o.F,
+			cat:   o.Cat,
+			ts:    o.TS,
+			hasTS: o.HasTS,
+		}
+	}
+	return out
+}
+
+// walSnapshot captures the entry's full durable state at the given
+// version: interning orders (sources, properties), the canonical
+// observation log, ground truth, I-CRH processor state, and the warm
+// truth table. Caller holds e.mu or exclusively owns e.
+func (e *entry) walSnapshot(version int64) *wal.Snapshot {
+	s := &wal.Snapshot{
+		Version: version,
+		Sources: append([]string(nil), e.sources...),
+		Props:   make([]wal.Prop, len(e.props)),
+		Obs:     recsToWAL(e.log),
+		GT:      make([]wal.Truth, len(e.gt)),
+	}
+	for i, p := range e.props {
+		s.Props[i] = wal.Prop{Name: p.name, Kind: kindOf(p.typ)}
+	}
+	for i, g := range e.gt {
+		s.GT[i] = wal.Truth{Object: g.obj, Property: g.prop, Kind: kindOf(g.typ), F: g.f, Cat: g.cat}
+	}
+	s.Weights, s.Accum, s.Chunks = e.proc.State()
+
+	e.warmMu.RLock()
+	s.Warm = make([]wal.Truth, 0, len(e.warmTruths))
+	for k, v := range e.warmTruths {
+		s.Warm = append(s.Warm, wal.Truth{
+			Object:   k.obj,
+			Property: k.prop,
+			Kind:     kindOf(v.typ),
+			F:        v.f,
+			Cat:      v.cat,
+		})
+	}
+	e.warmMu.RUnlock()
+	return s
+}
+
+// EnableDurability attaches a durable store to the registry and recovers
+// every dataset it holds: each is rebuilt from its newest valid snapshot,
+// then WAL batches past the snapshot are replayed through the normal
+// ingest apply path, leaving the entry exactly at its pre-crash version.
+// Must be called once, before the registry is shared; the registry must
+// be empty. snapshotEvery is the batch cadence for checkpointing (a
+// snapshot every N ingested batches retires the WAL segments it covers).
+func (r *Registry) EnableDurability(store *wal.Store, snapshotEvery int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) != 0 {
+		return fmt.Errorf("wal: EnableDurability on a non-empty registry")
+	}
+	r.store = store
+	r.snapshotEvery = snapshotEvery
+
+	names, err := store.List()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		e, err := r.recoverDataset(name)
+		if err != nil {
+			return fmt.Errorf("recover dataset %q: %w", name, err)
+		}
+		r.entries[name] = e
+	}
+	return nil
+}
+
+// recoverDataset rebuilds one dataset from its on-disk state. Caller
+// holds r.mu.
+func (r *Registry) recoverDataset(name string) (*entry, error) {
+	dl, snap, batches, err := r.store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{
+		name:       name,
+		uid:        r.nextUID.Add(1),
+		srcSet:     make(map[string]int),
+		propSet:    make(map[string]data.Type),
+		warmTruths: make(map[warmKey]warmVal),
+		snapEvery:  r.snapshotEvery,
+		lastSnap:   snap.Version,
+	}
+	// Interning orders must be restored exactly as captured — the I-CRH
+	// weight vector is positional, and rebuild/buildChunk emit sources
+	// and properties in interning order.
+	for _, s := range snap.Sources {
+		e.internSource(s)
+	}
+	for _, p := range snap.Props {
+		e.internProp(p.Name, typeOf(p.Kind))
+	}
+	e.log = walToRecs(snap.Obs)
+	e.gt = make([]gtRec, len(snap.GT))
+	for i, g := range snap.GT {
+		e.gt[i] = gtRec{obj: g.Object, prop: g.Property, typ: typeOf(g.Kind), f: g.F, cat: g.Cat}
+	}
+	e.proc = stream.NewProcessor(len(snap.Sources), r.streamCfg)
+	e.proc.Restore(snap.Weights, snap.Accum, snap.Chunks)
+	if snap.Chunks > 0 {
+		for _, w := range snap.Warm {
+			e.warmTruths[warmKey{w.Object, w.Property}] = warmVal{typ: typeOf(w.Kind), f: w.F, cat: w.Cat}
+		}
+		e.warmWeights = append([]float64(nil), snap.Weights...)
+		e.warmSources = append([]string(nil), e.sources...)
+		e.chunks = snap.Chunks
+	}
+	e.snap.Store(e.rebuild(snap.Version))
+
+	for _, b := range batches {
+		want := e.snap.Load().Version + 1
+		if b.Version != want {
+			dl.Close()
+			return nil, fmt.Errorf("%w: WAL batch version %d, want %d", wal.ErrCorrupt, b.Version, want)
+		}
+		e.apply(walToRecs(b.Obs), b.Version)
+	}
+	e.dlog = dl
+	return e, nil
+}
+
+// FlushDurable fsyncs every dataset's WAL, regardless of fsync policy —
+// making lazily-synced (interval/off) writes durable without closing
+// anything.
+func (r *Registry) FlushDurable() error {
+	var firstErr error
+	r.eachDurable(func(e *entry) {
+		if err := e.dlog.Sync(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("flush %q: %w", e.name, err)
+		}
+	})
+	return firstErr
+}
+
+// CloseDurable flushes and closes every dataset's WAL — the graceful-
+// shutdown path. The entries stay registered (the process is exiting);
+// ingest after CloseDurable would fail its durable append.
+func (r *Registry) CloseDurable() {
+	r.eachDurable(func(e *entry) {
+		e.dlog.Close()
+		e.dlog = nil
+	})
+}
+
+// eachDurable runs f under e.mu for every entry with a WAL handle, in
+// name order.
+func (r *Registry) eachDurable(f func(e *entry)) {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.dlog != nil {
+			f(e)
+		}
+		e.mu.Unlock()
+	}
+}

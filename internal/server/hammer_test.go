@@ -21,12 +21,18 @@ import (
 // sharing must affect throughput only, never results. Run under the race
 // detector by `make racehammer`.
 func TestResolveHammerSharedPool(t *testing.T) {
-	pooled := New(Config{SolverWorkers: 2})
+	pooled, err := New(Config{SolverWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer pooled.Close()
 	ts := httptest.NewServer(pooled.Handler())
 	t.Cleanup(ts.Close)
 
-	sequential := New(Config{SolverWorkers: 1})
+	sequential, err := New(Config{SolverWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer sequential.Close()
 	ref := httptest.NewServer(sequential.Handler())
 	t.Cleanup(ref.Close)

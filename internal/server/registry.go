@@ -16,6 +16,7 @@ import (
 
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/stream"
+	"github.com/crhkit/crh/internal/wal"
 )
 
 // Snapshot is an immutable view of a dataset at one version. Resolves
@@ -80,6 +81,15 @@ type entry struct {
 	props   []propDecl
 	propSet map[string]data.Type
 	proc    *stream.Processor
+	// deleted marks an entry removed from the registry; ingest on a
+	// stale handle must not resurrect it (or its on-disk state).
+	deleted bool
+	// dlog is the durable WAL+snapshot handle, nil in memory-only mode.
+	// lastSnap is the version of the newest on-disk snapshot and
+	// snapEvery the batch cadence for writing the next one.
+	dlog      *wal.DatasetLog
+	lastSnap  int64 // see dlog
+	snapEvery int   // see dlog
 
 	snap atomic.Pointer[Snapshot]
 
@@ -108,6 +118,10 @@ type Registry struct {
 	entries   map[string]*entry
 	nextUID   atomic.Int64
 	streamCfg stream.Config
+	// store is the durability backend, nil in memory-only mode;
+	// snapshotEvery the batch cadence entries snapshot at.
+	store         *wal.Store
+	snapshotEvery int // see store
 }
 
 // NewRegistry returns an empty registry. decay is the I-CRH decay rate α
@@ -126,10 +140,15 @@ var (
 	errExists   = fmt.Errorf("dataset already exists")
 	errNotFound = fmt.Errorf("dataset not found")
 	errBadName  = fmt.Errorf("invalid dataset name (want [A-Za-z0-9][A-Za-z0-9._-]{0,127})")
+	// errDurable wraps WAL/snapshot failures: the request was valid but
+	// could not be made durable, so it was not applied.
+	errDurable = fmt.Errorf("durable commit failed")
 )
 
 // Create registers a new dataset under name, loading its initial contents
 // from the TSV codec stream r (which may be empty for a blank dataset).
+// In durable mode the dataset's on-disk state (initial snapshot + WAL) is
+// created atomically before the name becomes visible.
 func (r *Registry) Create(name string, src io.Reader) (*entry, error) {
 	if !nameRe.MatchString(name) {
 		return nil, errBadName
@@ -151,6 +170,7 @@ func (r *Registry) Create(name string, src io.Reader) (*entry, error) {
 		propSet:    make(map[string]data.Type),
 		warmTruths: make(map[warmKey]warmVal),
 		proc:       stream.NewProcessor(d.NumSources(), r.streamCfg),
+		snapEvery:  r.snapshotEvery,
 	}
 	e.absorb(d, gt)
 	e.snap.Store(e.rebuild(1))
@@ -159,6 +179,14 @@ func (r *Registry) Create(name string, src io.Reader) (*entry, error) {
 	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; ok {
 		return nil, errExists
+	}
+	if r.store != nil {
+		dl, err := r.store.Create(name, e.walSnapshot(1))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errDurable, err)
+		}
+		e.dlog = dl
+		e.lastSnap = 1
 	}
 	r.entries[name] = e
 	return e, nil
@@ -293,40 +321,70 @@ type Observation struct {
 // Ingest validates and appends a batch of observations, installs a new
 // snapshot, and advances the warm I-CRH state by processing the batch as
 // one chunk. The batch is atomic: any invalid observation rejects the
-// whole batch before any state changes. Returns the new version.
+// whole batch before any state changes. In durable mode the batch is
+// appended to the WAL before it is applied — a request is only
+// acknowledged once it would survive a crash — and every snapEvery
+// batches the entry checkpoints a snapshot, retiring covered WAL
+// segments. Returns the new version.
 func (e *entry) Ingest(batch []Observation) (int64, error) {
-	if len(batch) == 0 {
-		return 0, fmt.Errorf("empty observation batch")
+	recs, err := validateBatch(batch)
+	if err != nil {
+		return 0, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.deleted {
+		return 0, errNotFound
+	}
+	if err := e.validateTypes(recs); err != nil {
+		return 0, err
+	}
+	version := e.snap.Load().Version + 1
+	if e.dlog != nil {
+		if err := e.dlog.AppendBatch(version, recsToWAL(recs)); err != nil {
+			return 0, fmt.Errorf("%w: %v", errDurable, err)
+		}
+	}
+	e.apply(recs, version)
+	if e.dlog != nil && e.snapEvery > 0 && version-e.lastSnap >= int64(e.snapEvery) {
+		// Snapshot failure is non-fatal: the batch is already durable in
+		// the WAL, the checkpoint just retries at the next boundary.
+		if err := e.dlog.WriteSnapshot(e.walSnapshot(version)); err == nil {
+			e.lastSnap = version
+		}
+	}
+	return version, nil
+}
 
-	// Pass 1: validate against committed and staged property types.
+// validateBatch performs the lock-free part of ingest validation: shape,
+// value typing, and intra-batch property-type consistency. Cross-checking
+// against the entry's committed property types happens under e.mu in
+// validateTypes.
+func validateBatch(batch []Observation) ([]obsRec, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("empty observation batch")
+	}
 	staged := make(map[string]data.Type)
 	recs := make([]obsRec, 0, len(batch))
 	for i, o := range batch {
 		if o.Source == "" || o.Object == "" || o.Property == "" {
-			return 0, fmt.Errorf("observation %d: source, object and property are required", i)
+			return nil, fmt.Errorf("observation %d: source, object and property are required", i)
 		}
 		rec := obsRec{src: o.Source, obj: o.Object, prop: o.Property}
 		var f float64
 		var s string
 		if err := json.Unmarshal(o.Value, &f); err == nil {
 			if math.IsNaN(f) || math.IsInf(f, 0) {
-				return 0, fmt.Errorf("observation %d: non-finite value", i)
+				return nil, fmt.Errorf("observation %d: non-finite value", i)
 			}
 			rec.typ, rec.f = data.Continuous, f
 		} else if err := json.Unmarshal(o.Value, &s); err == nil {
 			rec.typ, rec.cat = data.Categorical, s
 		} else {
-			return 0, fmt.Errorf("observation %d: value must be a JSON number (continuous) or string (categorical)", i)
+			return nil, fmt.Errorf("observation %d: value must be a JSON number (continuous) or string (categorical)", i)
 		}
-		want, known := e.propSet[rec.prop]
-		if !known {
-			want, known = staged[rec.prop]
-		}
-		if known && want != rec.typ {
-			return 0, fmt.Errorf("observation %d: property %q is %v, got %v value", i, rec.prop, want, rec.typ)
+		if want, known := staged[rec.prop]; known && want != rec.typ {
+			return nil, fmt.Errorf("observation %d: property %q is %v, got %v value", i, rec.prop, want, rec.typ)
 		}
 		staged[rec.prop] = rec.typ
 		if o.Timestamp != nil {
@@ -334,16 +392,32 @@ func (e *entry) Ingest(batch []Observation) (int64, error) {
 		}
 		recs = append(recs, rec)
 	}
+	return recs, nil
+}
 
-	// Pass 2: commit — extend registries, append the log, install the new
-	// snapshot, and advance the incremental processor.
+// validateTypes rejects a batch whose property types conflict with the
+// entry's committed declarations. Caller holds e.mu.
+func (e *entry) validateTypes(recs []obsRec) error {
+	for i, rec := range recs {
+		if want, known := e.propSet[rec.prop]; known && want != rec.typ {
+			return fmt.Errorf("observation %d: property %q is %v, got %v value", i, rec.prop, want, rec.typ)
+		}
+	}
+	return nil
+}
+
+// apply commits an already-validated batch at the given version: it
+// extends the interning registries, appends the log, installs the new
+// snapshot, and advances the incremental processor. This is the single
+// code path for both live ingest and WAL replay, which is what makes
+// recovery bit-for-bit identical to the uncrashed process. Caller holds
+// e.mu.
+func (e *entry) apply(recs []obsRec, version int64) {
 	for _, rec := range recs {
 		e.internSource(rec.src)
 		e.internProp(rec.prop, rec.typ)
 	}
 	e.log = append(e.log, recs...)
-	old := e.snap.Load()
-	version := old.Version + 1
 	e.snap.Store(e.rebuild(version))
 
 	chunk := e.buildChunk(recs, int(version))
@@ -372,8 +446,6 @@ func (e *entry) Ingest(batch []Observation) (int64, error) {
 	e.warmSources = append([]string(nil), e.sources...)
 	e.chunks++
 	e.warmMu.Unlock()
-
-	return version, nil
 }
 
 // buildChunk materializes the batch as an I-CRH chunk. All sources and
@@ -451,16 +523,46 @@ func (r *Registry) Get(name string) (*entry, bool) {
 	return e, ok
 }
 
-// Delete removes name from the registry. Inflight resolves holding the
-// entry's snapshot finish unaffected.
-func (r *Registry) Delete(name string) bool {
+// Delete removes name from the registry, releases the entry's resources
+// (observation log, interning tables, warm I-CRH state, WAL handle), and
+// removes its on-disk state in durable mode. Inflight resolves holding
+// the entry's snapshot finish unaffected — the snapshot pointer stays
+// valid — but later ingest through a stale handle reports not-found.
+// The registry lock is held across the disk removal so a racing Create
+// of the same name can never observe leftover on-disk state.
+func (r *Registry) Delete(name string) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; !ok {
-		return false
+	e, ok := r.entries[name]
+	if !ok {
+		return false, nil
 	}
 	delete(r.entries, name)
-	return true
+
+	e.mu.Lock()
+	e.deleted = true
+	e.log, e.gt = nil, nil
+	e.sources, e.srcSet = nil, nil
+	e.props, e.propSet = nil, nil
+	e.proc = nil
+	dlog := e.dlog
+	e.dlog = nil
+	e.mu.Unlock()
+
+	e.warmMu.Lock()
+	e.warmTruths = nil
+	e.warmWeights, e.warmSources = nil, nil
+	e.warmMu.Unlock()
+
+	if dlog != nil {
+		dlog.Close()
+	}
+	if r.store != nil {
+		if err := r.store.Remove(name); err != nil {
+			return true, fmt.Errorf("%w: %v", errDurable, err)
+		}
+	}
+	return true, nil
 }
 
 // DatasetInfo is the JSON description of one registered dataset.

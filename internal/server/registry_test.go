@@ -68,8 +68,11 @@ func TestRegistryCreateListDelete(t *testing.T) {
 		t.Fatalf("list = %+v", list)
 	}
 
-	if !r.Delete("empty") || r.Delete("empty") {
-		t.Fatal("delete semantics broken")
+	if ok, err := r.Delete("empty"); !ok || err != nil {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if ok, _ := r.Delete("empty"); ok {
+		t.Fatal("double delete succeeded")
 	}
 	if _, ok := r.Get("empty"); ok {
 		t.Fatal("deleted dataset still resolvable")

@@ -15,6 +15,7 @@ import (
 	"github.com/crhkit/crh/internal/obs"
 	"github.com/crhkit/crh/internal/obs/buildinfo"
 	"github.com/crhkit/crh/internal/stream"
+	"github.com/crhkit/crh/internal/wal"
 )
 
 // Config tunes a Server. The zero value is usable.
@@ -34,6 +35,23 @@ type Config struct {
 	// counts never affect results — the solver is bit-identical for any
 	// budget — so caching and coalescing stay sound at every setting.
 	SolverWorkers int
+	// DataDir, when non-empty, turns on durable ingest: every dataset
+	// gets a write-ahead log and snapshots under this directory, and New
+	// recovers all datasets found there (docs/DURABILITY.md). Empty
+	// keeps the server memory-only.
+	DataDir string
+	// Fsync picks the WAL fsync policy — "batch" (sync every ingest,
+	// the default), "interval" (sync at most every FsyncInterval), or
+	// "off" (sync only on rotation and shutdown). Ignored without
+	// DataDir.
+	Fsync string
+	// FsyncInterval is the lower bound between fsyncs under the
+	// "interval" policy (default 100ms). See Fsync.
+	FsyncInterval time.Duration
+	// SnapshotEvery is the checkpoint cadence: a dataset writes a
+	// snapshot (and retires covered WAL segments) every N ingested
+	// batches (default 128). See DataDir.
+	SnapshotEvery int
 }
 
 // Server is the crhd HTTP subsystem: registry + result cache + request
@@ -55,8 +73,11 @@ type Server struct {
 	inflight      atomic.Int64
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. With Config.DataDir set it also
+// opens the durable store and recovers every dataset found there, so an
+// error is possible (bad fsync policy, unreadable data directory,
+// corrupt WAL interior).
+func New(cfg Config) (*Server, error) {
 	if cfg.CacheCapacity == 0 {
 		cfg.CacheCapacity = 128
 	}
@@ -65,6 +86,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.SolverWorkers <= 0 {
 		cfg.SolverWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 128
 	}
 	metrics := obs.NewRegistry()
 	s := &Server{
@@ -84,6 +108,32 @@ func New(cfg Config) *Server {
 	s.registry.streamCfg.Metrics = stream.NewMetrics(metrics)
 	s.registry.streamCfg.Core.Workers = cfg.SolverWorkers
 	s.registry.streamCfg.Core.Pool = s.pool
+	if cfg.DataDir != "" {
+		policy := wal.FsyncBatch
+		if cfg.Fsync != "" {
+			var err error
+			if policy, err = wal.ParseFsyncPolicy(cfg.Fsync); err != nil {
+				s.pool.Close()
+				return nil, err
+			}
+		}
+		walMetrics := wal.NewMetrics(metrics)
+		store, err := wal.OpenStore(cfg.DataDir, wal.Options{
+			Fsync:    policy,
+			Interval: cfg.FsyncInterval,
+			Metrics:  walMetrics,
+		})
+		if err != nil {
+			s.pool.Close()
+			return nil, fmt.Errorf("open data dir: %w", err)
+		}
+		t0 := time.Now()
+		if err := s.registry.EnableDurability(store, cfg.SnapshotEvery); err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		walMetrics.RecordRecovery(time.Since(t0))
+	}
 	metrics.NewGaugeFunc("crhd_solver_workers", "size of the shared solver worker pool", func() float64 {
 		return float64(s.solverWorkers)
 	})
@@ -111,7 +161,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/datasets/{name}/observations", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/resolve", s.handleResolve)
 	s.mux.HandleFunc("GET /v1/datasets/{name}/incremental", s.handleIncremental)
-	return s
+	return s, nil
 }
 
 // Handler returns the root http.Handler.
@@ -127,9 +177,14 @@ func (s *Server) Stats() *Stats { return s.stats }
 // GET /metrics — so the binary can attach process-level gauges.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
-// Close releases the shared solver worker pool. Call it after the HTTP
-// server has drained; it must not run concurrently with live requests.
-func (s *Server) Close() { s.pool.Close() }
+// Close flushes and closes every dataset's WAL (making lazily-synced
+// writes durable — the graceful-shutdown flush) and releases the shared
+// solver worker pool. Call it after the HTTP server has drained; it must
+// not run concurrently with live requests.
+func (s *Server) Close() {
+	s.registry.CloseDurable()
+	s.pool.Close()
+}
 
 // solverBudget splits the pool across the n computations now in flight:
 // a lone request gets every worker, concurrent ones fair shares, and
@@ -209,6 +264,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errBadName):
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	case errors.Is(err, errDurable):
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "decode dataset: %v", err)
 		return
@@ -227,8 +285,15 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.registry.Delete(r.PathValue("name")) {
+	ok, err := s.registry.Delete(r.PathValue("name"))
+	if !ok {
 		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	}
+	if err != nil {
+		// The dataset is gone from the registry but its on-disk state
+		// could not be fully removed; report the failure.
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.stats.deletes.Add(1)
@@ -252,7 +317,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	version, err := e.Ingest(req.Observations)
-	if err != nil {
+	switch {
+	case errors.Is(err, errNotFound):
+		// The handle was fetched before a concurrent delete landed.
+		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
+		return
+	case errors.Is(err, errDurable):
+		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
+		return
+	case err != nil:
 		writeError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}

@@ -21,7 +21,10 @@ import (
 // testServer starts an httptest server around a fresh Server.
 func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

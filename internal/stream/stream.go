@@ -195,6 +195,26 @@ func (p *Processor) Weights() []float64 {
 	return append([]float64(nil), p.weights...)
 }
 
+// State returns the processor's durable state — copies of the current
+// source weights and decayed accumulated distances plus the number of
+// chunks processed. Together with Restore it lets crhd checkpoint warm
+// I-CRH state at a version boundary and rebuild it exactly after a
+// crash (docs/DURABILITY.md).
+func (p *Processor) State() (weights, accum []float64, chunks int) {
+	return append([]float64(nil), p.weights...), append([]float64(nil), p.accum...), p.n
+}
+
+// Restore replaces the processor's state with one previously captured
+// by State. Subsequent Process calls continue bit-for-bit identically
+// to a processor that never stopped. The weight history restarts empty:
+// recovery resumes the stream, it does not replay it.
+func (p *Processor) Restore(weights, accum []float64, chunks int) {
+	p.weights = append([]float64(nil), weights...)
+	p.accum = append([]float64(nil), accum...)
+	p.history = nil
+	p.n = chunks
+}
+
 // History returns the weight vector recorded after each processed chunk —
 // the trajectories plotted in Figure 4a.
 func (p *Processor) History() [][]float64 { return p.history }

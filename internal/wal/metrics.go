@@ -1,0 +1,122 @@
+package wal
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"github.com/crhkit/crh/internal/obs"
+)
+
+// Metrics holds the WAL telemetry crhd exposes under the crhd_wal_*
+// names documented in docs/DURABILITY.md: append volume, fsync latency,
+// live segment population, snapshot cadence, and recovery cost. Create
+// with NewMetrics; one set is shared by every dataset log of a store
+// (all handles are atomic). A nil *Metrics is valid and records
+// nothing.
+type Metrics struct {
+	// AppendBytes and AppendRecords count framed bytes and batch
+	// records appended to any WAL.
+	AppendBytes   *obs.Counter
+	AppendRecords *obs.Counter // see AppendBytes
+	// AppendObservations counts the observations inside those batches.
+	AppendObservations *obs.Counter
+	// FsyncSeconds is the fsync latency histogram.
+	FsyncSeconds *obs.Histogram
+	// Segments gauges the live WAL segment files across all datasets.
+	Segments *obs.Gauge
+	// Snapshots counts snapshot files written; SnapshotFailures the
+	// snapshot attempts that failed (the ingest itself stays durable —
+	// the WAL keeps covering it — but compaction made no progress).
+	Snapshots        *obs.Counter
+	SnapshotFailures *obs.Counter // see Snapshots
+	// RecoverySeconds gauges the duration of the last boot-time
+	// recovery; ReplayedRecords counts WAL records replayed by it.
+	RecoverySeconds *obs.Gauge
+	ReplayedRecords *obs.Counter // see RecoverySeconds
+
+	lastSnapshotUnixNano atomic.Int64
+}
+
+// NewMetrics registers the WAL metric set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		AppendBytes:        reg.NewCounter("crhd_wal_append_bytes_total", "framed bytes appended to WAL segments"),
+		AppendRecords:      reg.NewCounter("crhd_wal_append_records_total", "batch records appended to WAL segments"),
+		AppendObservations: reg.NewCounter("crhd_wal_append_observations_total", "observations inside appended WAL batches"),
+		FsyncSeconds:       reg.NewHistogram("crhd_wal_fsync_seconds", "WAL fsync latency", obs.ExponentialBuckets(0.00001, 2.5, 14)),
+		Segments:           reg.NewGauge("crhd_wal_segments", "live WAL segment files across all datasets"),
+		Snapshots:          reg.NewCounter("crhd_wal_snapshots_total", "dataset snapshot files written"),
+		SnapshotFailures:   reg.NewCounter("crhd_wal_snapshot_failures_total", "dataset snapshot writes that failed"),
+		RecoverySeconds:    reg.NewGauge("crhd_wal_recovery_seconds", "duration of the last boot-time WAL recovery"),
+		ReplayedRecords:    reg.NewCounter("crhd_wal_replayed_records_total", "WAL batch records replayed during recovery"),
+	}
+	reg.NewGaugeFunc("crhd_wal_snapshot_age_seconds", "seconds since the newest dataset snapshot was written (NaN before the first)", func() float64 {
+		ns := m.lastSnapshotUnixNano.Load()
+		if ns == 0 {
+			return math.NaN()
+		}
+		return time.Since(time.Unix(0, ns)).Seconds()
+	})
+	return m
+}
+
+// recordAppend folds one appended batch into the counters.
+func (m *Metrics) recordAppend(frameBytes, observations int) {
+	if m == nil {
+		return
+	}
+	m.AppendBytes.Add(int64(frameBytes))
+	m.AppendRecords.Add(1)
+	m.AppendObservations.Add(int64(observations))
+}
+
+// recordFsync records one fsync latency.
+func (m *Metrics) recordFsync(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.FsyncSeconds.ObserveDuration(d)
+}
+
+// addSegments adjusts the live segment gauge.
+func (m *Metrics) addSegments(delta int) {
+	if m == nil {
+		return
+	}
+	m.Segments.Add(float64(delta))
+}
+
+// recordSnapshot notes a successful snapshot write at t.
+func (m *Metrics) recordSnapshot(t time.Time) {
+	if m == nil {
+		return
+	}
+	m.Snapshots.Add(1)
+	m.lastSnapshotUnixNano.Store(t.UnixNano())
+}
+
+// RecordSnapshotFailure notes a failed snapshot attempt.
+func (m *Metrics) RecordSnapshotFailure() {
+	if m == nil {
+		return
+	}
+	m.SnapshotFailures.Add(1)
+}
+
+// RecordRecovery notes a completed boot-time recovery.
+func (m *Metrics) RecordRecovery(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.RecoverySeconds.Set(d.Seconds())
+}
+
+// addReplayed counts batch records a Store.Open returned for replay —
+// records past the newest snapshot, the ones recovery actually applies.
+func (m *Metrics) addReplayed(n int) {
+	if m == nil {
+		return
+	}
+	m.ReplayedRecords.Add(int64(n))
+}

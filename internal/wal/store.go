@@ -1,0 +1,202 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Store manages the on-disk state of every durable dataset under one
+// data directory: one subdirectory per dataset holding its snapshot
+// files and WAL segments. Dataset creation and removal are atomic
+// (staged under dot-prefixed temp names and renamed), so a crash never
+// leaves a half-created dataset that recovery would try to load.
+// Store methods are not safe for concurrent use on the same dataset;
+// the server's registry serializes them.
+type Store struct {
+	dir  string
+	opts Options
+}
+
+const (
+	tmpPrefix = ".tmp-"
+	delPrefix = ".del-"
+)
+
+// OpenStore opens (creating if needed) the data directory and sweeps
+// away debris from interrupted creates and deletes (dot-prefixed
+// staging directories).
+func OpenStore(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) || strings.HasPrefix(e.Name(), delPrefix) {
+			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Store{dir: dir, opts: opts.withDefaults()}, nil
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// List returns the names of every dataset with on-disk state, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DatasetLog is the durable handle of one dataset: its WAL plus
+// snapshot management. Obtain from Store.Create or Store.Open; not safe
+// for concurrent use (the owning registry entry serializes calls).
+type DatasetLog struct {
+	dir     string
+	log     *Log
+	metrics *Metrics
+}
+
+// Create atomically brings a new dataset into existence on disk with
+// the given initial snapshot (normally at version 1), returning its
+// durable handle. It fails if the dataset already has on-disk state.
+func (s *Store) Create(name string, initial *Snapshot) (*DatasetLog, error) {
+	final := filepath.Join(s.dir, name)
+	if _, err := os.Stat(final); err == nil {
+		return nil, fmt.Errorf("wal: dataset %q already has on-disk state", name)
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+name)
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshotFile(tmp, initial); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.RemoveAll(tmp)
+		return nil, err
+	}
+	if err := syncPath(s.dir); err != nil {
+		return nil, err
+	}
+	log, _, err := OpenLog(final, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	s.metricsSnapshotWritten()
+	return &DatasetLog{dir: final, log: log, metrics: s.opts.Metrics}, nil
+}
+
+// Open loads a dataset's durable state: its newest loadable snapshot
+// and the WAL batches appended after it (in version order, already
+// filtered to versions the snapshot does not cover). The returned
+// handle continues the same WAL.
+func (s *Store) Open(name string) (*DatasetLog, *Snapshot, []Batch, error) {
+	dir := filepath.Join(s.dir, name)
+	snap, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	log, batches, err := OpenLog(dir, s.opts)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	// Segments can span the snapshot boundary (compaction retires only
+	// fully-covered segments), so covered batches legitimately remain.
+	i := 0
+	for i < len(batches) && batches[i].Version <= snap.Version {
+		i++
+	}
+	batches = batches[i:]
+	for j, b := range batches {
+		if want := snap.Version + int64(j) + 1; b.Version != want {
+			log.Close()
+			return nil, nil, nil, fmt.Errorf("dataset %q: %w: WAL resumes at version %d, want %d", name, ErrCorrupt, b.Version, want)
+		}
+	}
+	s.opts.Metrics.addReplayed(len(batches))
+	return &DatasetLog{dir: dir, log: log, metrics: s.opts.Metrics}, snap, batches, nil
+}
+
+// Remove deletes a dataset's on-disk state. The directory is renamed
+// into a dot-prefixed staging name first, so a crash mid-removal leaves
+// only debris the next OpenStore sweeps, never a half-deleted dataset.
+func (s *Store) Remove(name string) error {
+	final := filepath.Join(s.dir, name)
+	segs, _ := listSegments(final)
+	staged := filepath.Join(s.dir, delPrefix+name)
+	if err := os.RemoveAll(staged); err != nil {
+		return err
+	}
+	if err := os.Rename(final, staged); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if err := syncPath(s.dir); err != nil {
+		return err
+	}
+	s.opts.Metrics.addSegments(-len(segs))
+	return os.RemoveAll(staged)
+}
+
+// AppendBatch appends one ingested batch to the dataset's WAL under the
+// configured fsync policy.
+func (d *DatasetLog) AppendBatch(version int64, batch []Obs) error {
+	return d.log.AppendBatch(version, batch)
+}
+
+// WriteSnapshot persists a new snapshot at its version boundary, then
+// compacts: WAL segments fully covered by the snapshot are retired and
+// older snapshot files pruned.
+func (d *DatasetLog) WriteSnapshot(snap *Snapshot) error {
+	if err := writeSnapshotFile(d.dir, snap); err != nil {
+		d.metrics.RecordSnapshotFailure()
+		return err
+	}
+	d.metrics.recordSnapshot(time.Now())
+	if err := d.log.Retire(snap.Version); err != nil {
+		return err
+	}
+	return pruneSnapshots(d.dir, snap.Version)
+}
+
+// SegmentCount returns the dataset's live WAL segment count.
+func (d *DatasetLog) SegmentCount() int { return d.log.SegmentCount() }
+
+// Sync forces pending WAL appends to stable storage regardless of
+// policy.
+func (d *DatasetLog) Sync() error { return d.log.Sync() }
+
+// Close flushes and closes the dataset's WAL (the graceful-shutdown
+// flush).
+func (d *DatasetLog) Close() error { return d.log.Close() }
+
+// metricsSnapshotWritten records a snapshot write performed by the
+// store itself (dataset creation).
+func (s *Store) metricsSnapshotWritten() {
+	s.opts.Metrics.recordSnapshot(time.Now())
+}

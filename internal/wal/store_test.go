@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleSnapshot(version int64) *Snapshot {
+	return &Snapshot{
+		Version: version,
+		Sources: []string{"s1", "s2"},
+		Props:   []Prop{{Name: "temp", Kind: Continuous}, {Name: "cond", Kind: Categorical}},
+		Obs: []Obs{
+			{Source: "s1", Object: "o1", Property: "temp", Kind: Continuous, F: 84},
+			{Source: "s2", Object: "o1", Property: "cond", Kind: Categorical, Cat: "sunny", TS: 3, HasTS: true},
+		},
+		GT:      []Truth{{Object: "o1", Property: "temp", Kind: Continuous, F: 83}},
+		Weights: []float64{1, 0.5},
+		Accum:   []float64{0, 2.25},
+		Chunks:  4,
+		Warm: []Truth{
+			{Object: "o1", Property: "cond", Kind: Categorical, Cat: "sunny"},
+			{Object: "o1", Property: "temp", Kind: Continuous, F: 84},
+		},
+	}
+}
+
+func snapEqual(t *testing.T, a, b *Snapshot) {
+	t.Helper()
+	if a.Version != b.Version || a.Chunks != b.Chunks {
+		t.Fatalf("version/chunks mismatch: %d/%d vs %d/%d", a.Version, a.Chunks, b.Version, b.Chunks)
+	}
+	if len(a.Sources) != len(b.Sources) || len(a.Props) != len(b.Props) ||
+		len(a.Obs) != len(b.Obs) || len(a.GT) != len(b.GT) ||
+		len(a.Weights) != len(b.Weights) || len(a.Accum) != len(b.Accum) || len(a.Warm) != len(b.Warm) {
+		t.Fatalf("shape mismatch: %+v vs %+v", a, b)
+	}
+	for i := range a.Sources {
+		if a.Sources[i] != b.Sources[i] {
+			t.Fatalf("source %d: %q vs %q", i, a.Sources[i], b.Sources[i])
+		}
+	}
+	for i := range a.Props {
+		if a.Props[i] != b.Props[i] {
+			t.Fatalf("prop %d: %+v vs %+v", i, a.Props[i], b.Props[i])
+		}
+	}
+	for i := range a.Obs {
+		if !obsEqual(a.Obs[i], b.Obs[i]) {
+			t.Fatalf("obs %d: %+v vs %+v", i, a.Obs[i], b.Obs[i])
+		}
+	}
+	for i := range a.Weights {
+		if math.Float64bits(a.Weights[i]) != math.Float64bits(b.Weights[i]) ||
+			math.Float64bits(a.Accum[i]) != math.Float64bits(b.Accum[i]) {
+			t.Fatalf("weights/accum %d differ", i)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot(7)
+	dec, err := decodeSnapshot(encodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, s, dec)
+
+	// Damage never panics.
+	enc := encodeSnapshot(s)
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x5a
+		decodeSnapshot(mut)
+	}
+	if _, err := decodeSnapshot(enc[:len(enc)/3]); err == nil {
+		t.Error("truncated snapshot decoded")
+	}
+}
+
+func TestStoreCreateOpenRemove(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), Options{Fsync: FsyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := store.Create("ds", sampleSnapshot(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Create("ds", sampleSnapshot(1)); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if err := dl.AppendBatch(2, batchN(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dl.AppendBatch(3, batchN(3)); err != nil {
+		t.Fatal(err)
+	}
+	dl.Close()
+
+	names, err := store.List()
+	if err != nil || len(names) != 1 || names[0] != "ds" {
+		t.Fatalf("List: %v %v", names, err)
+	}
+	dl2, snap, batches, err := store.Open("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, sampleSnapshot(1), snap)
+	if len(batches) != 2 || batches[0].Version != 2 || batches[1].Version != 3 {
+		t.Fatalf("replay: %+v", batches)
+	}
+	dl2.Close()
+
+	if err := store.Remove("ds"); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ := store.List(); len(names) != 0 {
+		t.Fatalf("dataset survives removal: %v", names)
+	}
+	if _, _, _, err := store.Open("ds"); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("open after remove: %v", err)
+	}
+	// A deleted name can be created again from empty state.
+	if _, err := store.Create("ds", sampleSnapshot(1)); err != nil {
+		t.Fatalf("re-create after remove: %v", err)
+	}
+}
+
+func TestStoreSnapshotCompaction(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), Options{Fsync: FsyncOff, SegmentBytes: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := store.Create("ds", sampleSnapshot(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(2); v <= 12; v++ {
+		if err := dl.AppendBatch(v, batchN(int(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := dl.SegmentCount()
+	snap := sampleSnapshot(12)
+	if err := dl.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dl.SegmentCount() >= before {
+		t.Fatalf("compaction retired nothing (%d -> %d)", before, dl.SegmentCount())
+	}
+	dl.Close()
+
+	// Old snapshots pruned: only snap-12 remains.
+	entries, _ := os.ReadDir(filepath.Join(store.Dir(), "ds"))
+	snaps := 0
+	for _, e := range entries {
+		if v, ok := parseSnapName(e.Name()); ok {
+			snaps++
+			if v != 12 {
+				t.Errorf("stale snapshot %s survived pruning", e.Name())
+			}
+		}
+	}
+	if snaps != 1 {
+		t.Errorf("%d snapshot files, want 1", snaps)
+	}
+
+	_, got, batches, err := store.Open("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapEqual(t, snap, got)
+	if len(batches) != 0 {
+		t.Fatalf("batches covered by the snapshot replayed: %+v", batches)
+	}
+}
+
+func TestStoreCorruptNewestSnapshotFallsBack(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := store.Create("ds", sampleSnapshot(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl.Close()
+	// Hand-write a damaged newer snapshot; Open must fall back to v1.
+	bad := filepath.Join(store.Dir(), "ds", snapName(9))
+	if err := os.WriteFile(bad, []byte("crhsnap\x01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, snap, _, err := store.Open("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 {
+		t.Fatalf("loaded version %d, want fallback to 1", snap.Version)
+	}
+}
+
+func TestOpenStoreSweepsDebris(t *testing.T) {
+	dir := t.TempDir()
+	os.MkdirAll(filepath.Join(dir, ".tmp-half"), 0o755)
+	os.MkdirAll(filepath.Join(dir, ".del-gone"), 0o755)
+	store, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("debris survived: %v", entries)
+	}
+	if names, _ := store.List(); len(names) != 0 {
+		t.Fatalf("debris listed as datasets: %v", names)
+	}
+}

@@ -1,0 +1,419 @@
+// Package wal is crhd's durability substrate: a segmented, append-only
+// write-ahead log of CRC32-checksummed, length-prefixed records; a
+// compact binary observation codec (varint-interned string ids + typed
+// values); snapshot files that serialize a dataset's full state at a
+// version boundary; and a per-dataset Store combining the three so a
+// crashed server recovers every dataset to its exact pre-crash version.
+//
+// Layering: wal sits below the server and above nothing — it stores
+// framed bytes and knows no domain structures (internal/data stays out
+// of its import graph), and only internal/server may import it (plus
+// cmd/crhbench's append benchmark; enforced by internal/lint). See
+// docs/DURABILITY.md for the on-disk layout, fsync semantics, and the
+// recovery contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FsyncPolicy selects when appended records are forced to stable
+// storage.
+type FsyncPolicy int
+
+const (
+	// FsyncBatch fsyncs after every appended batch: an acknowledged
+	// ingest survives power loss. The safest and slowest policy.
+	FsyncBatch FsyncPolicy = iota
+	// FsyncInterval fsyncs at most once per Options.Interval,
+	// piggybacked on appends (plus always on rotation and Close). A
+	// crash can lose up to one interval of acknowledged batches; the
+	// log itself stays consistent.
+	FsyncInterval
+	// FsyncOff never fsyncs explicitly (the OS flushes on its own
+	// schedule; Close still syncs). Fastest; a crash can lose any
+	// unflushed suffix.
+	FsyncOff
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncBatch:
+		return "batch"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses "batch", "interval", or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "batch":
+		return FsyncBatch, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want batch, interval, or off)", s)
+	}
+}
+
+// Options tunes a Log (and, through the Store, every per-dataset log).
+// The zero value is usable: fsync per batch, 100ms interval, 16 MiB
+// segments, no metrics.
+type Options struct {
+	// Fsync selects the durability/latency trade-off for appends.
+	Fsync FsyncPolicy
+	// Interval is the maximum time between fsyncs under FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates to a fresh segment once the active one
+	// reaches this size (default 16 MiB).
+	SegmentBytes int64
+	// Metrics, when non-nil, receives append/fsync/segment telemetry.
+	// Create with NewMetrics; one set may be shared by every log of a
+	// store (the counters are atomic).
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o
+}
+
+// Batch is one replayed WAL record: the dataset version the batch
+// produced and its decoded observations.
+type Batch struct {
+	// Version is the dataset version after applying Obs.
+	Version int64
+	// Obs carries the batch's observations in ingest order.
+	Obs []Obs
+}
+
+// recBatch tags a WAL record holding one encoded observation batch.
+// Snapshot files reuse the frame but carry their own magic, so record
+// types never collide across file kinds.
+const recBatch = 1
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// segment tracks one on-disk segment file: its numeric sequence, the
+// versions of the first and last record it holds (0,0 when empty), and
+// its byte size.
+type segment struct {
+	seq         uint64
+	first, last int64
+	size        int64
+}
+
+func (s segment) name() string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, s.seq, segSuffix)
+}
+
+// Log is a segmented append-only write-ahead log. Not safe for
+// concurrent use — the owning dataset entry serializes appends. Create
+// with OpenLog.
+type Log struct {
+	dir      string
+	opts     Options
+	active   *os.File
+	segs     []segment // segs[len-1] is the active segment
+	dirty    bool
+	lastSync time.Time
+}
+
+// ErrCorrupt reports structural damage the log cannot repair by
+// truncation: a bad frame anywhere but the tail of the last segment.
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+// parseSegName extracts the sequence number of a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// decodeBatchRecord splits a framed payload into its version and
+// observations.
+func decodeBatchRecord(payload []byte) (Batch, error) {
+	d := &decoder{b: payload}
+	if typ := d.byte(); d.err == nil && typ != recBatch {
+		return Batch{}, fmt.Errorf("wal: unknown record type %d", typ)
+	}
+	version := d.uvarint()
+	if d.err != nil {
+		return Batch{}, d.err
+	}
+	obs, err := DecodeObservations(payload[d.off:])
+	if err != nil {
+		return Batch{}, err
+	}
+	return Batch{Version: int64(version), Obs: obs}, nil
+}
+
+// encodeBatchRecord builds the framed payload for one batch.
+func encodeBatchRecord(version int64, batch []Obs) []byte {
+	body := EncodeObservations(batch)
+	payload := make([]byte, 0, len(body)+10)
+	payload = append(payload, recBatch)
+	payload = binary.AppendUvarint(payload, uint64(version))
+	return append(payload, body...)
+}
+
+// OpenLog opens (creating if needed) the segmented log in dir, replays
+// every intact record, and returns the decoded batches in append order.
+// A torn tail — a partial or checksum-failing final record in the last
+// segment, the signature of a crash mid-append — is truncated away; the
+// same damage anywhere else is returned as ErrCorrupt.
+func OpenLog(dir string, opts Options) (*Log, []Batch, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts, lastSync: time.Now()}
+	var batches []Batch
+	for i, name := range names {
+		seq, _ := parseSegName(name)
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		seg := segment{seq: seq}
+		off := 0
+		for off < len(data) {
+			payload, next, ok := nextFrame(data, off)
+			if !ok {
+				// Only a genuinely torn final write may be dropped: the
+				// damage must be in the last segment and reach its end.
+				// Anything else — an earlier segment, or a bad frame with
+				// valid data after it — is interior corruption, and
+				// truncating would silently lose acknowledged batches.
+				if i != len(names)-1 || !tornTail(data, off) {
+					return nil, nil, fmt.Errorf("%w: %s has a bad frame at offset %d", ErrCorrupt, name, off)
+				}
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return nil, nil, err
+				}
+				if err := syncPath(path); err != nil {
+					return nil, nil, err
+				}
+				break
+			}
+			b, err := decodeBatchRecord(payload)
+			if err != nil {
+				// The checksum matched, so these are the bytes the writer
+				// produced — undecodable content is corruption (or a
+				// writer bug), never a torn write.
+				return nil, nil, fmt.Errorf("%w: %s record at offset %d: %v", ErrCorrupt, name, off, err)
+			}
+			if seg.first == 0 {
+				seg.first = b.Version
+			}
+			seg.last = b.Version
+			batches = append(batches, b)
+			off = next
+			seg.size = int64(off)
+		}
+		l.segs = append(l.segs, seg)
+	}
+	for i := 1; i < len(batches); i++ {
+		if batches[i].Version <= batches[i-1].Version {
+			return nil, nil, fmt.Errorf("%w: record versions not increasing (%d then %d)", ErrCorrupt, batches[i-1].Version, batches[i].Version)
+		}
+	}
+	if len(l.segs) == 0 {
+		l.segs = []segment{{seq: 1}}
+	}
+	activePath := filepath.Join(dir, l.segs[len(l.segs)-1].name())
+	f, err := os.OpenFile(activePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.active = f
+	l.opts.Metrics.addSegments(len(l.segs))
+	return l, batches, nil
+}
+
+// listSegments returns the segment file names in dir, sorted by
+// sequence number.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := parseSegName(names[i])
+		b, _ := parseSegName(names[j])
+		return a < b
+	})
+	return names, nil
+}
+
+// AppendBatch encodes the batch with the binary observation codec,
+// frames it, and appends it to the active segment, rotating first when
+// the segment is full. Durability follows the configured fsync policy.
+func (l *Log) AppendBatch(version int64, batch []Obs) error {
+	if l.active == nil {
+		return errors.New("wal: log is closed")
+	}
+	frame := appendFrame(nil, encodeBatchRecord(version, batch))
+	act := &l.segs[len(l.segs)-1]
+	if act.size > 0 && act.size+int64(len(frame)) > l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+		act = &l.segs[len(l.segs)-1]
+	}
+	if _, err := l.active.Write(frame); err != nil {
+		return err
+	}
+	act.size += int64(len(frame))
+	if act.first == 0 {
+		act.first = version
+	}
+	act.last = version
+	l.dirty = true
+	l.opts.Metrics.recordAppend(len(frame), len(batch))
+	switch l.opts.Fsync {
+	case FsyncBatch:
+		return l.Sync()
+	case FsyncInterval:
+		if time.Since(l.lastSync) >= l.opts.Interval {
+			return l.Sync()
+		}
+	}
+	return nil
+}
+
+// rotate seals the active segment (fsyncing it regardless of policy —
+// a sealed segment is immutable) and starts the next one.
+func (l *Log) rotate() error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	next := segment{seq: l.segs[len(l.segs)-1].seq + 1}
+	f, err := os.OpenFile(filepath.Join(l.dir, next.name()), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.active = f
+	l.segs = append(l.segs, next)
+	l.opts.Metrics.addSegments(1)
+	return syncPath(l.dir)
+}
+
+// Sync forces buffered appends to stable storage now, regardless of
+// policy, recording the fsync latency when metrics are attached.
+func (l *Log) Sync() error {
+	if l.active == nil || !l.dirty {
+		return nil
+	}
+	t0 := time.Now()
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	l.opts.Metrics.recordFsync(time.Since(t0))
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Retire deletes every sealed segment whose records are all covered by
+// a snapshot at the given version (last record version <= version). The
+// active segment is never deleted.
+func (l *Log) Retire(version int64) error {
+	if len(l.segs) <= 1 {
+		return nil
+	}
+	kept := l.segs[:0]
+	removed := 0
+	for i, s := range l.segs {
+		if i < len(l.segs)-1 && s.last <= version {
+			if err := os.Remove(filepath.Join(l.dir, s.name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	if removed > 0 {
+		l.opts.Metrics.addSegments(-removed)
+		return syncPath(l.dir)
+	}
+	return nil
+}
+
+// SegmentCount returns the number of live segment files (the active one
+// included).
+func (l *Log) SegmentCount() int { return len(l.segs) }
+
+// Close flushes pending appends (the graceful-shutdown flush) and
+// closes the active segment. The log is unusable afterwards.
+func (l *Log) Close() error {
+	if l.active == nil {
+		return nil
+	}
+	err := l.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
+
+// syncPath fsyncs a file or directory by path — needed after creating,
+// renaming, or removing directory entries so the metadata is durable.
+func syncPath(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,245 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func batchN(i int) []Obs {
+	return []Obs{
+		{Source: "s1", Object: "o", Property: "p", Kind: Continuous, F: float64(i)},
+		{Source: "s2", Object: "o", Property: "q", Kind: Categorical, Cat: "c", TS: i, HasTS: true},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, []Batch) {
+	t.Helper()
+	l, batches, err := OpenLog(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, batches
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, batches := mustOpen(t, dir, Options{Fsync: FsyncBatch})
+	if len(batches) != 0 {
+		t.Fatalf("fresh log replayed %d batches", len(batches))
+	}
+	for v := int64(2); v <= 6; v++ {
+		if err := l.AppendBatch(v, batchN(int(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, batches = mustOpen(t, dir, Options{})
+	if len(batches) != 5 {
+		t.Fatalf("replayed %d batches, want 5", len(batches))
+	}
+	for i, b := range batches {
+		want := int64(i + 2)
+		if b.Version != want {
+			t.Errorf("batch %d version %d, want %d", i, b.Version, want)
+		}
+		if len(b.Obs) != 2 || math.Float64bits(b.Obs[0].F) != math.Float64bits(float64(want)) {
+			t.Errorf("batch %d contents wrong: %+v", i, b.Obs)
+		}
+	}
+}
+
+func TestLogTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncBatch})
+	for v := int64(2); v <= 4; v++ {
+		if err := l.AppendBatch(v, batchN(int(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	names, err := listSegments(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments: %v %v", names, err)
+	}
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-way through the last record, then add garbage — both the
+	// partial frame and the garbage must be truncated away.
+	if err := os.WriteFile(path, append(data[:len(data)-5], 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, batches := mustOpen(t, dir, Options{})
+	if len(batches) != 2 {
+		t.Fatalf("replayed %d batches after torn tail, want 2", len(batches))
+	}
+	// The log must be appendable again at the next version.
+	if err := l2.AppendBatch(4, batchN(4)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, batches = mustOpen(t, dir, Options{})
+	if len(batches) != 3 || batches[2].Version != 4 {
+		t.Fatalf("after repair+append: %d batches, last %+v", len(batches), batches[len(batches)-1])
+	}
+}
+
+// TestLogTornVsInteriorDamage pins the repair policy within the last
+// segment: a bit-damaged FINAL record (a torn write's signature — the
+// damage reaches EOF) is truncated away, while a damaged record with
+// valid records after it is interior corruption and refuses to open.
+func TestLogTornVsInteriorDamage(t *testing.T) {
+	build := func(t *testing.T) (string, []byte) {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff})
+		for v := int64(2); v <= 4; v++ {
+			if err := l.AppendBatch(v, batchN(int(v))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Close()
+		names, _ := listSegments(dir)
+		path := filepath.Join(dir, names[0])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return path, data
+	}
+
+	t.Run("final record bit flip truncates", func(t *testing.T) {
+		path, data := build(t)
+		mut := append([]byte(nil), data...)
+		mut[len(mut)-1] ^= 0xff // inside the last record's payload
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, batches := mustOpen(t, filepath.Dir(path), Options{})
+		defer l.Close()
+		if len(batches) != 2 || batches[1].Version != 3 {
+			t.Fatalf("after torn final record: %+v", batches)
+		}
+	})
+
+	t.Run("interior bit flip refuses", func(t *testing.T) {
+		path, data := build(t)
+		mut := append([]byte(nil), data...)
+		mut[frameHeader+2] ^= 0xff // inside the FIRST record's payload
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenLog(filepath.Dir(path), Options{}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("interior damage: got %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestLogMidSegmentCorruptionRefuses(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 64})
+	for v := int64(2); v <= 10; v++ {
+		if err := l.AppendBatch(v, batchN(int(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	names, _ := listSegments(dir)
+	if len(names) < 3 {
+		t.Fatalf("expected rotation, got %d segments", len(names))
+	}
+	// Damage a record in the FIRST segment: not repairable by tail
+	// truncation.
+	path := filepath.Join(dir, names[0])
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+	if _, _, err := OpenLog(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-segment corruption: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLogRotationAndRetire(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{Fsync: FsyncOff, SegmentBytes: 96})
+	for v := int64(2); v <= 20; v++ {
+		if err := l.AppendBatch(v, batchN(int(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.SegmentCount()
+	if before < 3 {
+		t.Fatalf("expected >=3 segments, got %d", before)
+	}
+	// Retire everything covered by version 15: only segments whose
+	// last record is <= 15 (and not the active one) may go.
+	if err := l.Retire(15); err != nil {
+		t.Fatal(err)
+	}
+	if l.SegmentCount() >= before {
+		t.Fatalf("retire removed nothing (%d -> %d)", before, l.SegmentCount())
+	}
+	l.Close()
+
+	l2, batches := mustOpen(t, dir, Options{})
+	defer l2.Close()
+	// Every version > 15 must survive; the replayed stream must stay
+	// contiguous from its first version.
+	if len(batches) == 0 || batches[len(batches)-1].Version != 20 {
+		t.Fatalf("tail lost after retire: %+v", batches)
+	}
+	for i := 1; i < len(batches); i++ {
+		if batches[i].Version != batches[i-1].Version+1 {
+			t.Fatalf("gap after retire: %d -> %d", batches[i-1].Version, batches[i].Version)
+		}
+	}
+	if batches[0].Version > 16 {
+		t.Fatalf("retire dropped uncovered version %d", batches[0].Version)
+	}
+}
+
+func TestLogIntervalAndOffPolicies(t *testing.T) {
+	for _, pol := range []FsyncPolicy{FsyncInterval, FsyncOff} {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir, Options{Fsync: pol})
+		for v := int64(2); v <= 5; v++ {
+			if err := l.AppendBatch(v, batchN(int(v))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil { // graceful flush
+			t.Fatal(err)
+		}
+		_, batches := mustOpen(t, dir, Options{})
+		if len(batches) != 4 {
+			t.Fatalf("policy %v: replayed %d, want 4", pol, len(batches))
+		}
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+	}{{"batch", FsyncBatch}, {"interval", FsyncInterval}, {"off", FsyncOff}} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

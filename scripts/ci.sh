@@ -11,10 +11,13 @@
 #   4. equivalence     the parallel-vs-sequential bit-identity suite on
 #                      its own (docs/PARALLEL.md's contract), so a
 #                      determinism regression is named in the logs
-#   5. make fuzz       a short coverage-guided fuzz pass over the decoder
-#                      and the solver (the committed corpora already ran
-#                      as plain tests inside make check)
-#   6. gofmt -l        fails if any tracked Go file is unformatted
+#   5. make walcheck   SIGKILL a crhd subprocess mid-ingest and verify the
+#                      restarted server recovers bit-identical state
+#                      (docs/DURABILITY.md's contract)
+#   6. make fuzz       a short coverage-guided fuzz pass over the decoder,
+#                      the solver, and the WAL record codec (the committed
+#                      corpora already ran as plain tests inside make check)
+#   7. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -33,6 +36,9 @@ make racehammer
 
 echo "==> equivalence suite"
 go test -run 'TestEquivalence|TestMetamorphic' -count=1 ./internal/core/
+
+echo "==> walcheck (crash recovery)"
+make walcheck
 
 echo "==> fuzz (short)"
 make fuzz FUZZTIME=5s
