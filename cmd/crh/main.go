@@ -72,6 +72,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "crh: %v\n", err)
 			return 1
 		}
+		//lint:ignore errflow the input file is read-only; close cannot lose buffered writes
 		defer f.Close()
 		in = f
 	}
@@ -92,7 +93,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "crh: %v\n", err)
 			return 1
 		}
-		defer tf.Close()
+		// The trace is an output file: a failed close means lost buffered
+		// writes, so it must be reported, not swallowed.
+		defer func() {
+			if err := tf.Close(); err != nil {
+				fmt.Fprintf(stderr, "crh: close trace %s: %v\n", *traceF, err)
+			}
+		}()
 		trace = crh.NewJSONLTrace(tf)
 		opts.Trace = trace
 	}

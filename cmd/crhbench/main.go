@@ -298,7 +298,10 @@ func runIngestSweep(list, jsonDir string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "crhbench: reopen under fsync=%s: %v\n", policy, err)
 			return 1
 		}
-		l2.Close()
+		if err := l2.Close(); err != nil {
+			fmt.Fprintf(stderr, "crhbench: close replay log under fsync=%s: %v\n", policy, err)
+			return 1
+		}
 		if len(replayed) != len(stream) {
 			fmt.Fprintf(stderr, "crhbench: fsync=%s replayed %d of %d batches\n", policy, len(replayed), len(stream))
 			return 1

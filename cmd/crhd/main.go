@@ -95,7 +95,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		fmt.Fprintf(stderr, "crhd: %v\n", err)
 		return 1
 	}
-	defer srv.Close()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(stderr, "crhd: shutdown: %v\n", err)
+		}
+	}()
 	if *dataDir != "" {
 		fmt.Fprintf(stderr, "crhd: durable ingest in %s (fsync=%s), %d dataset(s) recovered\n",
 			*dataDir, *fsync, srv.Registry().Count())
@@ -119,7 +123,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 			return 1
 		}
 		_, err = srv.Registry().Create(name, f)
-		f.Close()
+		//lint:ignore errflow f was opened read-only; close cannot lose buffered writes
+		_ = f.Close()
 		if err != nil {
 			fmt.Fprintf(stderr, "crhd: preload %s: %v\n", name, err)
 			return 1

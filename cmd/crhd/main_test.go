@@ -268,7 +268,7 @@ func TestDurableRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("ingest: %d", resp.StatusCode)
 	}
@@ -287,7 +287,7 @@ func TestDurableRestart(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if info.Version != 2 || info.Observations != 9 {
 		t.Fatalf("recovered dataset: %+v (stderr: %s)", info, stderr.String())
 	}
@@ -353,7 +353,7 @@ func TestPprofAndRequestLog(t *testing.T) {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != 200 {
 			t.Errorf("GET %s: %d", path, resp.StatusCode)
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	crhlint [-list] [-dir d] [packages]
+//	crhlint [-list] [-json] [-dir d] [packages]
 //
 // Packages default to ./... resolved against -dir (default "."), which
 // must lie inside a Go module. Patterns follow the go tool's shape:
@@ -17,9 +17,15 @@
 // and the exit status is 1 when any finding survives suppression, 2 on
 // usage or load errors, 0 otherwise. Findings are suppressed in place
 // with //lint:ignore <analyzer> <reason>; see docs/LINT.md.
+//
+// -json replaces the text lines with one JSON array of every finding —
+// including suppressed ones, flagged with their directive's reason — so
+// CI can archive the full record. The exit status still counts only
+// unsuppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +34,18 @@ import (
 	"github.com/crhkit/crh/internal/lint"
 	"github.com/crhkit/crh/internal/obs/buildinfo"
 )
+
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed marks a finding silenced by a //lint:ignore directive;
+	// Reason carries the directive's justification (omitted otherwise).
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"` // see Suppressed
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -39,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		list    = fs.Bool("list", false, "print the registered analyzers with their one-line docs and exit")
+		jsonOut = fs.Bool("json", false, "emit all findings (including suppressed ones) as a JSON array instead of text")
 		dir     = fs.String("dir", ".", "directory to resolve package patterns against (must be inside a module)")
 		version = fs.Bool("version", false, "print version information and exit")
 	)
@@ -60,12 +79,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "crhlint: %v\n", err)
 		return 2
 	}
+	if *jsonOut {
+		return runJSON(pkgs, stdout, stderr)
+	}
 	diags := lint.Run(pkgs, lint.Analyzers())
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "crhlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// runJSON prints every diagnostic — suppressed ones included — as one
+// indented JSON array. The exit status mirrors the text mode's: only
+// unsuppressed findings fail the run.
+func runJSON(pkgs []*lint.Package, stdout, stderr io.Writer) int {
+	diags := lint.RunAll(pkgs, lint.Analyzers())
+	findings := make([]jsonFinding, len(diags))
+	unsuppressed := 0
+	for i, d := range diags {
+		findings[i] = jsonFinding{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		}
+		if !d.Suppressed {
+			unsuppressed++
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		fmt.Fprintf(stderr, "crhlint: %v\n", err)
+		return 2
+	}
+	if unsuppressed > 0 {
+		fmt.Fprintf(stderr, "crhlint: %d finding(s)\n", unsuppressed)
 		return 1
 	}
 	return 0

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -85,11 +86,84 @@ func TestSmokeList(t *testing.T) {
 		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, &stderr)
 	}
 	out := stdout.String()
-	for _, name := range []string{"floatcmp", "globalrand", "layering", "stdlibonly", "exporteddoc", "directive"} {
+	for _, name := range []string{"floatcmp", "globalrand", "layering", "stdlibonly", "exporteddoc", "maporder", "lockguard", "errflow", "hotpath", "directive"} {
 		re := regexp.MustCompile(`(?m)^` + name + `\s+\S`)
 		if !re.MatchString(out) {
 			t.Errorf("-list output lacks analyzer %q with a doc:\n%s", name, out)
 		}
+	}
+}
+
+// TestSmokeJSON pins the -json contract: an array of
+// {file, line, analyzer, message, suppressed[, reason]} records that
+// includes suppressed findings, while the exit status counts only the
+// unsuppressed ones.
+func TestSmokeJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/jsonsmoke\n\ngo 1.22\n",
+		"eq.go": `// Package jsonsmoke is a crhlint smoke-test fixture.
+package jsonsmoke
+
+// Same reports whether a equals b.
+func Same(a, b float64) bool { return a == b }
+
+// Near reports whether a and b agree to within tolerance semantics the
+// caller pinned elsewhere.
+func Near(a, b float64) bool {
+	//lint:ignore floatcmp exact equality is the documented contract here
+	return a == b
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-dir", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	var findings []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+		Reason     string `json:"reason"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, &stdout)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("%d findings, want 2 (one live, one suppressed):\n%s", len(findings), &stdout)
+	}
+	live, supp := findings[0], findings[1]
+	if live.Suppressed || live.Line != 5 || live.Analyzer != "floatcmp" ||
+		!strings.HasSuffix(live.File, "eq.go") || !strings.Contains(live.Message, "floating-point") {
+		t.Errorf("live finding wrong: %+v", live)
+	}
+	if !supp.Suppressed || supp.Reason != "exact equality is the documented contract here" {
+		t.Errorf("suppressed finding wrong: %+v", supp)
+	}
+	if !strings.Contains(stderr.String(), "crhlint: 1 finding(s)") {
+		t.Errorf("stderr %q should count only the unsuppressed finding", stderr.String())
+	}
+}
+
+// TestSmokeJSONClean pins that a clean run emits an empty array (not
+// null) and exits 0.
+func TestSmokeJSONClean(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module example.com/jsonclean\n\ngo 1.22\n",
+		"ok.go": `// Package jsonclean is a crhlint smoke-test fixture.
+package jsonclean
+
+// Half halves x.
+func Half(x float64) float64 { return x / 2 }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-dir", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
 	}
 }
 

@@ -382,10 +382,14 @@ func (s *solver) getScratch() *scratch {
 func (s *solver) putScratch(sc *scratch) { s.scratches.Put(sc) }
 
 // gatherInto collects entry e's observations into sc, returning the
-// number of observers.
+// number of observers. Runs once per entry per iteration; the scratch
+// buffers amortize to zero steady-state allocations.
+//
+//crh:hotpath
 func (s *solver) gatherInto(sc *scratch, e int, categorical bool) int {
 	sc.vals, sc.ws, sc.cats = sc.vals[:0], sc.ws[:0], sc.cats[:0]
 	gw := s.weights[s.groupOf[s.d.EntryProp(e)]]
+	//lint:ignore hotpath the callback captures the scratch it amortizes into — appends refill buffers reset to [:0] above, and ForEntry cannot retain the closure
 	s.d.ForEntry(e, func(k int, v data.Value) {
 		if categorical {
 			sc.cats = append(sc.cats, int(v.C))
@@ -501,22 +505,12 @@ func (s *solver) updateTruths(countChanges bool) int {
 				s.dists[e] = nil
 				continue
 			}
-			p := d.Prop(d.EntryProp(e))
-			var nv data.Value
-			if p.Type == data.Categorical {
-				if s.gatherInto(sc, e, true) == 0 {
-					continue
-				}
-				t, dist := s.cfg.CategoricalLoss.Truth(sc.cats, sc.ws, p)
-				nv = data.Cat(t)
-				s.dists[e] = dist
-			} else {
-				if s.gatherInto(sc, e, false) == 0 {
-					continue
-				}
-				nv = data.Float(s.cfg.ContinuousLoss.Truth(sc.vals, sc.ws))
+			nv, ok := s.resolveEntry(sc, e)
+			if !ok {
+				continue
 			}
 			if countChanges {
+				p := d.Prop(d.EntryProp(e))
 				if old, ok := s.truths.Get(e); !ok || truthChanged(p.Type, old, nv) {
 					perShard[sh]++
 				}
@@ -531,6 +525,30 @@ func (s *solver) updateTruths(countChanges bool) int {
 	return changes
 }
 
+// resolveEntry performs the Step II argmin for one unpinned entry:
+// gather its observations under the current weights, then let the
+// configured loss pick the minimizing estimate (Eq 7/9). ok is false
+// when nobody observed the entry. This is the truth-update inner loop —
+// it runs once per entry per iteration, and //crh:hotpath holds it and
+// everything it calls to zero steady-state allocations.
+//
+//crh:hotpath
+func (s *solver) resolveEntry(sc *scratch, e int) (data.Value, bool) {
+	p := s.d.Prop(s.d.EntryProp(e))
+	if p.Type == data.Categorical {
+		if s.gatherInto(sc, e, true) == 0 {
+			return data.Value{}, false
+		}
+		t, dist := s.cfg.CategoricalLoss.Truth(sc.cats, sc.ws, p)
+		s.dists[e] = dist
+		return data.Cat(t), true
+	}
+	if s.gatherInto(sc, e, false) == 0 {
+		return data.Value{}, false
+	}
+	return data.Float(s.cfg.ContinuousLoss.Truth(sc.vals, sc.ws)), true
+}
+
 // truthChanged reports whether a truth update moved an entry's estimate:
 // a different label for categorical entries, a shift beyond 1e-12 for
 // continuous ones (exact float equality would misreport rounding noise).
@@ -539,6 +557,41 @@ func truthChanged(t data.Type, old, nv data.Value) bool {
 		return old.C != nv.C
 	}
 	return math.Abs(old.F-nv.F) > 1e-12
+}
+
+// accumulateShard folds entries [lo, hi) into the given partial loss
+// matrices: each source's deviation from the current truth of every
+// entry it observed (Eq 5/6). It is the per-shard unit of Step I's
+// deviation accumulation, shared by sourceLosses' sequential and
+// parallel paths, and the weight-update inner loop — //crh:hotpath
+// holds it and everything it calls to zero steady-state allocations.
+//
+//crh:hotpath
+func (s *solver) accumulateShard(lsum [][]float64, lcnt [][]int, lo, hi int) {
+	d := s.d
+	for e := lo; e < hi; e++ {
+		truth, ok := s.truths.Get(e)
+		if !ok {
+			continue
+		}
+		m := d.EntryProp(e)
+		p := d.Prop(m)
+		if p.Type == data.Categorical {
+			dist := s.dists[e]
+			//lint:ignore hotpath the callback closes over per-entry loop state; ForEntry iterates a slice in place and cannot retain the closure
+			d.ForEntry(e, func(k int, v data.Value) {
+				lsum[k][m] += s.cfg.CategoricalLoss.Deviation(int(truth.C), dist, int(v.C), p)
+				lcnt[k][m]++
+			})
+		} else {
+			std := s.entryStd[e]
+			//lint:ignore hotpath the callback closes over per-entry loop state; ForEntry iterates a slice in place and cannot retain the closure
+			d.ForEntry(e, func(k int, v data.Value) {
+				lsum[k][m] += s.cfg.ContinuousLoss.Deviation(truth.F, v.F, std)
+				lcnt[k][m]++
+			})
+		}
+	}
 }
 
 // sourceLosses computes the per-group per-source losses feeding Step I:
@@ -556,32 +609,6 @@ func (s *solver) sourceLosses() ([][]float64, [][]int) {
 	for k := 0; k < K; k++ {
 		sum[k] = make([]float64, M)
 		cnt[k] = make([]int, M)
-	}
-	// accumulate folds entries [lo, hi) into the given partial matrices —
-	// the per-shard unit of work shared by the sequential and parallel
-	// paths below.
-	accumulate := func(lsum [][]float64, lcnt [][]int, lo, hi int) {
-		for e := lo; e < hi; e++ {
-			truth, ok := s.truths.Get(e)
-			if !ok {
-				continue
-			}
-			m := d.EntryProp(e)
-			p := d.Prop(m)
-			if p.Type == data.Categorical {
-				dist := s.dists[e]
-				d.ForEntry(e, func(k int, v data.Value) {
-					lsum[k][m] += s.cfg.CategoricalLoss.Deviation(int(truth.C), dist, int(v.C), p)
-					lcnt[k][m]++
-				})
-			} else {
-				std := s.entryStd[e]
-				d.ForEntry(e, func(k int, v data.Value) {
-					lsum[k][m] += s.cfg.ContinuousLoss.Deviation(truth.F, v.F, std)
-					lcnt[k][m]++
-				})
-			}
-		}
 	}
 	merge := func(lsum [][]float64, lcnt [][]int) {
 		for k := 0; k < K; k++ {
@@ -614,7 +641,7 @@ func (s *solver) sourceLosses() ([][]float64, [][]int) {
 				clear(lcnt[k])
 			}
 			lo, hi := shardBounds(n, sh, nsh)
-			accumulate(lsum, lcnt, lo, hi)
+			s.accumulateShard(lsum, lcnt, lo, hi)
 			merge(lsum, lcnt)
 		}
 	} else {
@@ -627,7 +654,7 @@ func (s *solver) sourceLosses() ([][]float64, [][]int) {
 				lsum[k] = make([]float64, M)
 				lcnt[k] = make([]int, M)
 			}
-			accumulate(lsum, lcnt, lo, hi)
+			s.accumulateShard(lsum, lcnt, lo, hi)
 			partSum[sh], partCnt[sh] = lsum, lcnt
 		})
 		for sh := 0; sh < nsh; sh++ {

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/crhkit/crh/internal/lint/flow"
+)
+
+// ErrFlow checks that durability-critical errors are not silently
+// dropped. A WAL append that fails and is ignored is a committed write
+// that never happened: the dataset diverges from its log and crash
+// recovery replays a different history. The same goes for fsync and
+// close on the log and snapshot files in internal/wal and
+// internal/server.
+//
+// Two tiers, by blast radius:
+//
+//   - Durability calls — error-returning functions defined under
+//     internal/wal or internal/server named Close, Sync, Flush, Retire,
+//     Commit, Compact, Truncate or prefixed Append/Snapshot/Write, plus
+//     (*os.File).Close and (*os.File).Sync anywhere — must have their
+//     error handled. Dropping one via a bare statement, a deferred
+//     call, a go statement, assignment to _, or an assignment that is
+//     never read (use-def analysis over the CFG) is a finding.
+//     Intentional discards take `_ = l.Close()` plus a reasoned
+//     //lint:ignore errflow, or restructure to a checked defer.
+//   - General closers — any method named Close returning error — are
+//     flagged only when dropped as a bare statement. `defer
+//     resp.Body.Close()` stays idiomatic and quiet.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "require WAL/server durability errors (append, fsync, close) to be checked",
+	Run:  runErrFlow,
+}
+
+type errCallClass int
+
+const (
+	notErrCall errCallClass = iota
+	generalClose
+	durabilityCall
+)
+
+func runErrFlow(pass *Pass) {
+	// Liveness is per enclosing function; build lazily.
+	liveness := map[ast.Node]*flow.Liveness{}
+	liveFor := func(fn ast.Node) *flow.Liveness {
+		if lv, ok := liveness[fn]; ok {
+			return lv
+		}
+		lv := flow.NewLiveness(pass.CFG(fn), pass.Pkg.TypesInfo)
+		liveness[fn] = lv
+		return lv
+	}
+	for _, f := range pass.Pkg.Files {
+		checkErrFlowFile(pass, f, liveFor)
+	}
+}
+
+func checkErrFlowFile(pass *Pass, f *ast.File, liveFor func(ast.Node) *flow.Liveness) {
+	info := pass.Pkg.TypesInfo
+	// Walk with an ancestor stack so each call sees its statement
+	// context, and track the innermost enclosing function for liveness.
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		class, name := classifyErrCall(info, call)
+		if class == notErrCall {
+			return true
+		}
+		parent := parentOf(stack)
+		switch p := parent.(type) {
+		case *ast.ExprStmt:
+			if class == durabilityCall {
+				pass.Reportf(call.Pos(), "error from %s is dropped; a failed durability call must be handled or discarded with a reasoned //lint:ignore errflow", name)
+			} else {
+				pass.Reportf(call.Pos(), "error from %s is dropped; check it, or defer the close", name)
+			}
+		case *ast.DeferStmt:
+			if p.Call == call && class == durabilityCall {
+				pass.Reportf(call.Pos(), "deferred %s discards its error; durability closes need a named-defer check or a reasoned suppression", name)
+			}
+		case *ast.GoStmt:
+			if p.Call == call && class == durabilityCall {
+				pass.Reportf(call.Pos(), "error from %s is dropped by the go statement; durability errors must be handled", name)
+			}
+		case *ast.AssignStmt:
+			if class != durabilityCall {
+				return true
+			}
+			checkErrAssign(pass, p, call, name, stack, liveFor)
+		}
+		return true
+	})
+}
+
+// parentOf returns the nearest non-paren ancestor of the node on top of
+// the stack.
+func parentOf(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// checkErrAssign handles `..., err := call(...)` for durability calls:
+// the error result must not go to _ and must be read afterwards.
+func checkErrAssign(pass *Pass, as *ast.AssignStmt, call *ast.CallExpr, name string, stack []ast.Node, liveFor func(ast.Node) *flow.Liveness) {
+	info := pass.Pkg.TypesInfo
+	// Locate the LHS expression receiving the call's error result.
+	var errLHS ast.Expr
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// n, err := c.Write(...): tuple assignment, error is last.
+		errLHS = as.Lhs[len(as.Lhs)-1]
+	} else {
+		for i, rhs := range as.Rhs {
+			if rhs == call && i < len(as.Lhs) {
+				errLHS = as.Lhs[i]
+			}
+		}
+	}
+	if errLHS == nil {
+		return
+	}
+	id, ok := errLHS.(*ast.Ident)
+	if !ok {
+		return // stored through a field or index: treated as used
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "error from %s is assigned to _; handle it or add a reasoned //lint:ignore errflow", name)
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return
+	}
+	if !liveFor(fn).UsedAfter(as, v) {
+		pass.Reportf(call.Pos(), "error from %s is assigned to %s but never read", name, id.Name)
+	}
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the ancestor stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// classifyErrCall resolves a call's static callee and decides which
+// tier it belongs to, returning a human-readable call name.
+func classifyErrCall(info *types.Info, call *ast.CallExpr) (errCallClass, string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return notErrCall, ""
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return notErrCall, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return notErrCall, ""
+	}
+	name := callDisplayName(call, fn)
+	if isDurabilityFunc(fn, sig) {
+		return durabilityCall, name
+	}
+	if sig.Recv() != nil && fn.Name() == "Close" {
+		return generalClose, name
+	}
+	return notErrCall, ""
+}
+
+// isDurabilityFunc matches the durability tier: WAL/server persistence
+// entry points and os.File's Close/Sync.
+func isDurabilityFunc(fn *types.Func, sig *types.Signature) bool {
+	full := fn.FullName()
+	if full == "(*os.File).Close" || full == "(*os.File).Sync" {
+		return true
+	}
+	path := fn.Pkg().Path()
+	if !strings.Contains(path, "internal/wal") && !strings.Contains(path, "internal/server") {
+		return false
+	}
+	switch fn.Name() {
+	case "Close", "Sync", "Flush", "Retire", "Commit", "Compact", "Truncate":
+		return true
+	}
+	return strings.HasPrefix(fn.Name(), "Append") ||
+		strings.HasPrefix(fn.Name(), "Snapshot") ||
+		strings.HasPrefix(fn.Name(), "Write")
+}
+
+// lastResultIsError reports whether the signature's final result is the
+// error interface.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// callDisplayName renders the call's source spelling (l.Close, f.Sync)
+// falling back to the function name.
+func callDisplayName(call *ast.CallExpr, fn *types.Func) string {
+	if se, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if base := exprPath(se.X); base != "" {
+			return base + "." + se.Sel.Name
+		}
+	}
+	return fn.Name()
+}

@@ -1,0 +1,166 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A FuncInfo is one module-local function or method with a body: the
+// unit of the call graph. The type information is the defining
+// package's own (each package is type-checked separately), so analyzers
+// can scan the body with correct types regardless of which package's
+// pass discovered the function.
+type FuncInfo struct {
+	// ID is the stable cross-package identity (FuncID).
+	ID string
+	// PkgPath is the import path of the defining package.
+	PkgPath string
+	// Decl is the function's declaration, body included.
+	Decl *ast.FuncDecl
+	// Info is the defining package's type information.
+	Info *types.Info
+}
+
+// A CallGraph is the module-local static call graph: an edge per
+// syntactic call whose callee resolves to a function or method defined
+// in the module. Dynamic dispatch — interface method calls, calls
+// through function values — contributes no edges; analyzers relying on
+// the graph document that approximation. Calls made inside a nested
+// function literal are attributed to the enclosing declared function,
+// which matches the "transitively executes" reading the hotpath
+// analyzer needs.
+type CallGraph struct {
+	modulePath string
+	// Funcs indexes every module function with a body by ID.
+	Funcs map[string]*FuncInfo
+	// Callees maps a caller ID to its callee IDs, deduplicated and
+	// sorted for deterministic traversal.
+	Callees map[string][]string
+}
+
+// NewCallGraph returns an empty graph for the module at modulePath.
+func NewCallGraph(modulePath string) *CallGraph {
+	return &CallGraph{
+		modulePath: modulePath,
+		Funcs:      map[string]*FuncInfo{},
+		Callees:    map[string][]string{},
+	}
+}
+
+// FuncID returns the stable identity used to join functions across
+// separately type-checked packages: go/types' full name, e.g.
+// "example.com/mod/pkg.Run" or "(*example.com/mod/pkg.T).Close".
+func FuncID(fn *types.Func) string { return fn.FullName() }
+
+// AddPackage indexes the functions of one type-checked package and
+// records their module-local call edges.
+func (cg *CallGraph) AddPackage(files []*ast.File, info *types.Info) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			id := FuncID(obj)
+			if cg.Funcs[id] == nil {
+				cg.Funcs[id] = &FuncInfo{
+					ID:      id,
+					PkgPath: obj.Pkg().Path(),
+					Decl:    fd,
+					Info:    info,
+				}
+			}
+			cg.addEdges(id, fd.Body, info)
+		}
+	}
+}
+
+// addEdges walks body (nested literals included) for static calls into
+// the module.
+func (cg *CallGraph) addEdges(caller string, body ast.Node, info *types.Info) {
+	seen := map[string]bool{}
+	for _, id := range cg.Callees[caller] {
+		seen[id] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := cg.staticCallee(call, info)
+		if callee == nil {
+			return true
+		}
+		id := FuncID(callee)
+		if !seen[id] {
+			seen[id] = true
+			cg.Callees[caller] = append(cg.Callees[caller], id)
+		}
+		return true
+	})
+	sort.Strings(cg.Callees[caller])
+}
+
+// staticCallee resolves a call to the module-local function or method
+// it statically invokes, or nil (builtin, conversion, stdlib, dynamic).
+func (cg *CallGraph) staticCallee(call *ast.CallExpr, info *types.Info) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != cg.modulePath && !strings.HasPrefix(path, cg.modulePath+"/") {
+		return nil
+	}
+	// Interface methods have no body to traverse into; skip them so the
+	// graph only contains concrete functions.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+// Reachable returns every function reachable from the given roots
+// (roots included, when they exist in the graph), mapped to the root
+// that first reached it. Traversal order is deterministic: roots in
+// sorted order, breadth-first over sorted callee lists.
+func (cg *CallGraph) Reachable(roots []string) map[string]string {
+	sorted := append([]string(nil), roots...)
+	sort.Strings(sorted)
+	reached := map[string]string{}
+	for _, root := range sorted {
+		if _, ok := reached[root]; ok {
+			continue
+		}
+		queue := []string{root}
+		reached[root] = root
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, callee := range cg.Callees[cur] {
+				if _, ok := reached[callee]; !ok {
+					reached[callee] = root
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return reached
+}

@@ -1,0 +1,477 @@
+// Package flow is the intraprocedural dataflow substrate under
+// crhkit's lint framework: per-function control-flow graphs built from
+// go/ast, reverse-postorder traversal and dominance over them, a
+// lightweight liveness/use-def analysis for local variables, and a
+// module-local static call graph. It is stdlib-only (no
+// golang.org/x/tools) and deliberately approximate in the directions
+// that keep analyzers quiet rather than noisy: panics terminate a
+// block, defers run at function exit, and function literals are opaque
+// from the enclosing function's point of view.
+//
+// The package exists so analyzers can ask control- and value-flow
+// questions the type-level checks from PR 2 cannot: "is this access
+// dominated by that Lock call", "is this error definition ever read",
+// "does a sort lie on every path between this map range and that use".
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of statements: execution enters at
+// the first node and leaves at the last, with no branching in between.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes holds the block's statements — and, for control headers,
+	// the governing expression (an if/for condition, a switch tag) — in
+	// execution order. Branch statements (break, continue, goto) carry
+	// no evaluation and are represented purely as edges.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body. Build one
+// with New.
+type Graph struct {
+	// Fn is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fn ast.Node
+	// Entry receives control on function entry; Exit is the single
+	// synthetic exit every return (and the fall-off end) reaches.
+	Entry, Exit *Block
+	// Blocks lists every block in creation order, including unreachable
+	// ones; use ReversePostorder for a traversal of the reachable part.
+	Blocks []*Block
+
+	rpo    []*Block
+	rpoNum map[*Block]int
+	idom   map[*Block]*Block
+}
+
+// New builds the control-flow graph of fn, which must be an
+// *ast.FuncDecl or *ast.FuncLit. Function literals nested inside the
+// body are treated as opaque values: their bodies contribute no blocks
+// or edges (build a separate Graph for them when their flow matters).
+// A nil or missing body yields a trivial entry→exit graph.
+func New(fn ast.Node) *Graph {
+	g := &Graph{Fn: fn}
+	b := &builder{g: g, labels: map[string]*labelBlocks{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+
+	var body *ast.BlockStmt
+	switch n := fn.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+	case *ast.FuncLit:
+		body = n.Body
+	}
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+// builder carries the construction state: the block under construction
+// and the targets break/continue/goto resolve to.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breakTargets / continueTargets stack the innermost enclosing
+	// targets; labeled entries note the label they answer to.
+	breakTargets    []labeledTarget
+	continueTargets []labeledTarget
+	labels          map[string]*labelBlocks
+}
+
+type labeledTarget struct {
+	label string // "" for the innermost unlabeled target
+	block *Block
+}
+
+// labelBlocks tracks a label's entry block (for goto/continue) before
+// or after its statement has been built.
+type labelBlocks struct {
+	start *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock finishes cur with an edge to next and makes next current.
+func (b *builder) startBlock(next *Block) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+// terminate ends the current block with an edge to target and continues
+// construction in a fresh, unreachable block (for any statements that
+// syntactically follow a return/branch).
+func (b *builder) terminate(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock()
+}
+
+// add appends a node to the current block.
+func (b *builder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// labelStart returns (creating if needed) the block a goto/labeled
+// statement for name enters at.
+func (b *builder) labelStart(name string) *Block {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{start: b.newBlock()}
+		b.labels[name] = lb
+	}
+	return lb.start
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.g.Exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t, ok := b.findTarget(b.breakTargets, s.Label); ok {
+				b.terminate(t)
+				return
+			}
+		case token.CONTINUE:
+			if t, ok := b.findTarget(b.continueTargets, s.Label); ok {
+				b.terminate(t)
+				return
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				b.terminate(b.labelStart(s.Label.Name))
+				return
+			}
+		}
+		// fallthrough is handled by the switch builder; a malformed
+		// branch degrades to a no-op.
+
+	case *ast.LabeledStmt:
+		start := b.labelStart(s.Label.Name)
+		b.startBlock(start)
+		b.labeledStmt(s.Label.Name, s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlock := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(condBlock, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(condBlock, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(condBlock, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		b.forStmt("", s)
+
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+
+	case *ast.SwitchStmt:
+		b.switchStmt("", s)
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt("", s)
+
+	case *ast.SelectStmt:
+		b.selectStmt("", s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			b.terminate(b.g.Exit)
+		}
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// labeledStmt builds the statement carried by a label: loops and
+// switches register the label so `break L` / `continue L` resolve.
+func (b *builder) labeledStmt(label string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(label, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(label, s)
+	case *ast.SwitchStmt:
+		b.switchStmt(label, s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(label, s)
+	case *ast.SelectStmt:
+		b.selectStmt(label, s)
+	default:
+		b.stmt(s)
+	}
+}
+
+// findTarget resolves a break/continue to the innermost matching
+// target (or the labeled one).
+func (b *builder) findTarget(stack []labeledTarget, label *ast.Ident) (*Block, bool) {
+	if len(stack) == 0 {
+		return nil, false
+	}
+	if label == nil {
+		return stack[len(stack)-1].block, true
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block, true
+		}
+	}
+	return nil, false
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, labeledTarget{"", brk})
+	b.continueTargets = append(b.continueTargets, labeledTarget{"", cont})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, labeledTarget{label, brk})
+		b.continueTargets = append(b.continueTargets, labeledTarget{label, cont})
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-n]
+}
+
+func (b *builder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.startBlock(head)
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	b.pushLoop(label, after, post)
+	b.cur = body
+	b.stmt(s.Body)
+	b.popLoop(label)
+	b.edge(b.cur, post)
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(label string, s *ast.RangeStmt) {
+	head := b.newBlock()
+	b.startBlock(head)
+	// The RangeStmt node itself sits in the head block: it evaluates X
+	// and assigns the iteration variables each trip.
+	b.add(s)
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+	b.pushLoop(label, after, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.popLoop(label)
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) switchStmt(label string, s *ast.SwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(label, s.Body, true)
+}
+
+func (b *builder) typeSwitchStmt(label string, s *ast.TypeSwitchStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(label, s.Body, false)
+}
+
+// caseClauses builds the clause bodies of a (type) switch: every clause
+// is entered from the head, fallthrough chains one body into the next,
+// and a missing default lets the head reach the join directly.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt, allowFallthrough bool) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakTargets = append(b.breakTargets, labeledTarget{"", after})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, labeledTarget{label, after})
+	}
+	hasDefault := false
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	starts := make([]*Block, len(clauses))
+	for i := range clauses {
+		starts[i] = b.newBlock()
+	}
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			head.Nodes = append(head.Nodes, e)
+		}
+		b.edge(head, starts[i])
+		b.cur = starts[i]
+		falls := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && allowFallthrough {
+				falls = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(starts) {
+			b.edge(b.cur, starts[i+1])
+			b.cur = b.newBlock()
+		}
+		b.edge(b.cur, after)
+	}
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(head, after)
+	}
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+	b.cur = after
+}
+
+func (b *builder) selectStmt(label string, s *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock()
+	b.breakTargets = append(b.breakTargets, labeledTarget{"", after})
+	if label != "" {
+		b.breakTargets = append(b.breakTargets, labeledTarget{label, after})
+	}
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		clause := b.newBlock()
+		b.edge(head, clause)
+		b.cur = clause
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-n]
+	b.cur = after
+}
+
+// isPanic reports whether e is a call to the panic builtin (by name;
+// shadowing panic is its own crime).
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// BlockAt returns the block and node index of the narrowest recorded
+// node whose source span contains pos, or (nil, -1) when pos lies in no
+// recorded node. Narrowest matters because container statements are
+// recorded too: a position inside a range body is inside both the body
+// statement and the RangeStmt node in the loop head.
+func (g *Graph) BlockAt(pos token.Pos) (*Block, int) {
+	var (
+		bestBlk  *Block
+		bestIdx  = -1
+		bestSpan = token.Pos(-1)
+	)
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && pos < n.End() {
+				if span := n.End() - n.Pos(); bestSpan < 0 || span < bestSpan {
+					bestBlk, bestIdx, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return bestBlk, bestIdx
+}

@@ -1,0 +1,108 @@
+package flow
+
+// ReversePostorder returns the reachable blocks in reverse postorder of
+// a depth-first traversal from Entry — the canonical iteration order
+// for forward dataflow. The result is computed once and cached.
+func (g *Graph) ReversePostorder() []*Block {
+	if g.rpo != nil {
+		return g.rpo
+	}
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	g.rpo = make([]*Block, len(post))
+	g.rpoNum = make(map[*Block]int, len(post))
+	for i := range post {
+		b := post[len(post)-1-i]
+		g.rpo[i] = b
+		g.rpoNum[b] = i
+	}
+	return g.rpo
+}
+
+// Idom returns b's immediate dominator, or nil for the entry block and
+// for unreachable blocks. Computed with the Cooper–Harvey–Kennedy
+// iterative algorithm on the first call and cached.
+func (g *Graph) Idom(b *Block) *Block {
+	if g.idom == nil {
+		g.computeIdom()
+	}
+	return g.idom[b]
+}
+
+func (g *Graph) computeIdom() {
+	rpo := g.ReversePostorder()
+	g.idom = make(map[*Block]*Block, len(rpo))
+	g.idom[g.Entry] = g.Entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if g.idom[p] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	// Entry's conventional self-idom was only needed during iteration.
+	g.idom[g.Entry] = nil
+}
+
+// intersect walks two blocks up the (partially built) dominator tree to
+// their common ancestor, comparing by RPO number.
+func (g *Graph) intersect(a, b *Block) *Block {
+	for a != b {
+		for g.rpoNum[a] > g.rpoNum[b] {
+			a = g.idom[a]
+		}
+		for g.rpoNum[b] > g.rpoNum[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether every path from Entry to b passes through
+// a. Every block dominates itself. Unreachable blocks are dominated by
+// nothing and dominate nothing (except themselves).
+func (g *Graph) Dominates(a, b *Block) bool {
+	if a == b {
+		return true
+	}
+	if g.idom == nil {
+		g.computeIdom()
+	}
+	for d := g.idom[b]; d != nil; d = g.idom[d] {
+		if d == a {
+			return true
+		}
+		if d == g.Entry {
+			break
+		}
+	}
+	return false
+}

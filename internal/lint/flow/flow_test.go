@@ -1,0 +1,332 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load type-checks one file of source and returns its AST and info.
+func load(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type check: %v", err)
+	}
+	return fset, f, info
+}
+
+// funcDecl finds the named function declaration.
+func funcDecl(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+const cfgSrc = `package p
+
+func straight(a int) int {
+	b := a + 1
+	return b
+}
+
+func branch(a int) int {
+	if a > 0 {
+		a = 1
+	} else {
+		a = 2
+	}
+	return a
+}
+
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+		if s > 100 {
+			break
+		}
+	}
+	return s
+}
+
+func ranger(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func early(a int) int {
+	if a < 0 {
+		return -1
+	}
+	return a
+}
+
+func paniced(a int) int {
+	if a < 0 {
+		panic("negative")
+	}
+	return a
+}
+
+func labeled(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+		}
+	}
+	return 0
+}
+
+func switcher(a int) string {
+	switch a {
+	case 1:
+		return "one"
+	case 2:
+		fallthrough
+	case 3:
+		return "few"
+	}
+	return "many"
+}
+`
+
+// reachableBlocks counts blocks reachable from entry.
+func reachableBlocks(g *Graph) int { return len(g.ReversePostorder()) }
+
+func TestCFGShapes(t *testing.T) {
+	_, f, _ := load(t, cfgSrc)
+	for _, tc := range []struct {
+		fn string
+		// minReach sanity-checks that construction produced a connected
+		// graph of the right magnitude without pinning exact shapes.
+		minReach int
+	}{
+		{"straight", 2},
+		{"branch", 4},
+		{"loop", 5},
+		{"ranger", 4},
+		{"early", 3},
+		{"paniced", 3},
+		{"labeled", 6},
+		{"switcher", 5},
+	} {
+		g := New(funcDecl(t, f, tc.fn))
+		if got := reachableBlocks(g); got < tc.minReach {
+			t.Errorf("%s: %d reachable blocks, want >= %d", tc.fn, got, tc.minReach)
+		}
+		// Exit must be reachable: every function here returns.
+		found := false
+		for _, b := range g.ReversePostorder() {
+			if b == g.Exit {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: exit unreachable", tc.fn)
+		}
+	}
+}
+
+func TestRPOStartsAtEntry(t *testing.T) {
+	_, f, _ := load(t, cfgSrc)
+	g := New(funcDecl(t, f, "loop"))
+	rpo := g.ReversePostorder()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatal("reverse postorder does not start at entry")
+	}
+}
+
+// nodeAt finds the block holding the node whose rendered position line
+// matches line.
+func blockAtLine(t *testing.T, fset *token.FileSet, g *Graph, line int) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == line {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block node on line %d", line)
+	return nil
+}
+
+func TestDominance(t *testing.T) {
+	src := `package p
+
+func f(a int) int {
+	b := a * 2    // line 4: dominates everything below
+	if a > 0 {
+		b = 3     // line 6: then-branch only
+	} else {
+		b = 4     // line 8: else-branch only
+	}
+	return b      // line 10: join
+}
+`
+	fset, f, _ := load(t, src)
+	g := New(funcDecl(t, f, "f"))
+	def := blockAtLine(t, fset, g, 4)
+	then := blockAtLine(t, fset, g, 6)
+	els := blockAtLine(t, fset, g, 8)
+	ret := blockAtLine(t, fset, g, 10)
+
+	if !g.Dominates(def, ret) {
+		t.Error("line 4 should dominate the return")
+	}
+	if !g.Dominates(def, then) || !g.Dominates(def, els) {
+		t.Error("line 4 should dominate both branches")
+	}
+	if g.Dominates(then, ret) {
+		t.Error("the then-branch must not dominate the join")
+	}
+	if g.Dominates(then, els) || g.Dominates(els, then) {
+		t.Error("sibling branches must not dominate each other")
+	}
+	if !g.Dominates(g.Entry, ret) {
+		t.Error("entry dominates everything reachable")
+	}
+}
+
+func TestLivenessUsedAfter(t *testing.T) {
+	src := `package p
+
+func f() error { return nil }
+
+func checked() error {
+	err := f()       // line 6: used below
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func dead() {
+	err := f()       // line 14: overwritten before any read
+	err = f()        // line 15: read below
+	if err != nil {
+		println("x")
+	}
+}
+
+func escapes() {
+	err := f()       // line 22: captured by a closure
+	go func() { _ = err }()
+	err = f()
+	_ = err
+}
+`
+	fset, f, info := load(t, src)
+
+	findAssign := func(fn string, line int) (*Graph, ast.Node, *types.Var) {
+		g := New(funcDecl(t, f, fn))
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				if fset.Position(n.Pos()).Line != line {
+					continue
+				}
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					continue
+				}
+				id := as.Lhs[0].(*ast.Ident)
+				var v *types.Var
+				if o, ok := info.Defs[id]; ok {
+					v = o.(*types.Var)
+				} else {
+					v = info.Uses[id].(*types.Var)
+				}
+				return g, n, v
+			}
+		}
+		t.Fatalf("%s: no assignment on line %d", fn, line)
+		return nil, nil, nil
+	}
+
+	g, n, v := findAssign("checked", 6)
+	if !NewLiveness(g, info).UsedAfter(n, v) {
+		t.Error("checked: err at line 6 is read by the if — UsedAfter should be true")
+	}
+	g, n, v = findAssign("dead", 14)
+	if NewLiveness(g, info).UsedAfter(n, v) {
+		t.Error("dead: err at line 14 is overwritten unread — UsedAfter should be false")
+	}
+	g, n, v = findAssign("escapes", 22)
+	if !NewLiveness(g, info).UsedAfter(n, v) {
+		t.Error("escapes: err is captured by a closure — UsedAfter must be conservatively true")
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	src := `package p
+
+func leaf() {}
+
+func mid() { leaf() }
+
+func root() {
+	mid()
+	f := func() { leaf() }
+	f()
+}
+
+func island() {}
+
+type T struct{}
+
+func (t *T) Method() { mid() }
+
+func viaMethod(t *T) { t.Method() }
+`
+	_, f, info := load(t, src)
+	cg := NewCallGraph("p")
+	// The test package path is "p"; AddPackage keys everything by
+	// FullName, which for package-level funcs is "p.name".
+	cg.AddPackage([]*ast.File{f}, info)
+
+	rootID := "p.root"
+	reached := cg.Reachable([]string{rootID})
+	for _, want := range []string{"p.root", "p.mid", "p.leaf"} {
+		if reached[want] != rootID {
+			t.Errorf("%s not reached from root (got %q)", want, reached[want])
+		}
+	}
+	if _, ok := reached["p.island"]; ok {
+		t.Error("island must not be reachable from root")
+	}
+	methodReached := cg.Reachable([]string{"p.viaMethod"})
+	if _, ok := methodReached["(*p.T).Method"]; !ok {
+		t.Errorf("method call edge missing; reached = %v", methodReached)
+	}
+	if _, ok := methodReached["p.mid"]; !ok {
+		t.Error("transitive edge through method missing")
+	}
+}

@@ -1,0 +1,274 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// event is one use or definition of a local variable, in block order.
+type event struct {
+	node ast.Node // the block node the event belongs to
+	v    *types.Var
+	def  bool
+}
+
+// Liveness is a backward may-liveness analysis of the local variables
+// of one function: it answers whether a variable's value at some
+// program point can still be read later. Variables whose address is
+// taken, or that are referenced from a nested function literal, are
+// treated as always live (their flow escapes the graph).
+type Liveness struct {
+	g       *Graph
+	info    *types.Info
+	events  map[*Block][]event
+	liveOut map[*Block]map[*types.Var]bool
+	escaped map[*types.Var]bool
+}
+
+// NewLiveness computes liveness over g using the type information that
+// resolved g's function.
+func NewLiveness(g *Graph, info *types.Info) *Liveness {
+	lv := &Liveness{
+		g:       g,
+		info:    info,
+		events:  map[*Block][]event{},
+		liveOut: map[*Block]map[*types.Var]bool{},
+		escaped: map[*types.Var]bool{},
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			lv.nodeEvents(b, n)
+		}
+	}
+	lv.solve()
+	return lv
+}
+
+// localVar resolves id to the local (non-field, non-package-level)
+// variable it uses or defines, if any.
+func (lv *Liveness) localVar(id *ast.Ident) *types.Var {
+	var obj types.Object
+	if o, ok := lv.info.Uses[id]; ok {
+		obj = o
+	} else if o, ok := lv.info.Defs[id]; ok {
+		obj = o
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Parent() == nil || v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package-level
+	}
+	return v
+}
+
+// nodeEvents appends n's use/def events in evaluation order:
+// right-hand sides before the definitions they feed. Idents inside
+// nested function literals and operands of unary & mark their variable
+// escaped instead of producing ordered events.
+func (lv *Liveness) nodeEvents(b *Block, n ast.Node) {
+	add := func(v *types.Var, def bool) {
+		if v != nil {
+			lv.events[b] = append(lv.events[b], event{node: n, v: v, def: def})
+		}
+	}
+	// uses walks e collecting reads, marking escapes for & and closures.
+	var uses func(e ast.Node)
+	uses = func(e ast.Node) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				lv.markEscapes(x)
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					if id, ok := unparen(x.X).(*ast.Ident); ok {
+						if v := lv.localVar(id); v != nil {
+							lv.escaped[v] = true
+							add(v, false)
+							return false
+						}
+					}
+				}
+			case *ast.Ident:
+				add(lv.localVar(x), false)
+			}
+			return true
+		})
+	}
+
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			uses(r)
+		}
+		for _, l := range s.Lhs {
+			if id, ok := unparen(l).(*ast.Ident); ok {
+				if id.Name == "_" {
+					continue
+				}
+				v := lv.localVar(id)
+				if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+					add(v, false) // compound assignment reads first
+				}
+				add(v, true)
+				continue
+			}
+			uses(l) // x[i] = ..., x.f = ...: reads of the base
+		}
+	case *ast.IncDecStmt:
+		if id, ok := unparen(s.X).(*ast.Ident); ok {
+			v := lv.localVar(id)
+			add(v, false)
+			add(v, true)
+		} else {
+			uses(s.X)
+		}
+	case *ast.RangeStmt:
+		uses(s.X)
+		for _, kv := range []ast.Expr{s.Key, s.Value} {
+			if kv == nil {
+				continue
+			}
+			if id, ok := unparen(kv).(*ast.Ident); ok && id.Name != "_" {
+				add(lv.localVar(id), true)
+			} else {
+				uses(kv)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, val := range vs.Values {
+					uses(val)
+				}
+				for _, id := range vs.Names {
+					if id.Name != "_" {
+						add(lv.localVar(id), true)
+					}
+				}
+			}
+		}
+	default:
+		uses(n)
+	}
+}
+
+// markEscapes records every local referenced inside a function literal
+// as escaped: the literal may run at any time relative to this graph.
+func (lv *Liveness) markEscapes(fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if v := lv.localVar(id); v != nil && v.Pos() < fl.Pos() {
+				lv.escaped[v] = true
+			}
+		}
+		return true
+	})
+}
+
+// solve iterates backward liveness to a fixpoint.
+func (lv *Liveness) solve() {
+	rpo := lv.g.ReversePostorder()
+	liveIn := map[*Block]map[*types.Var]bool{}
+	for _, b := range lv.g.Blocks {
+		lv.liveOut[b] = map[*types.Var]bool{}
+		liveIn[b] = map[*types.Var]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.liveOut[b]
+			for _, s := range b.Succs {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := map[*types.Var]bool{}
+			for v := range out {
+				in[v] = true
+			}
+			evs := lv.events[b]
+			for j := len(evs) - 1; j >= 0; j-- {
+				if evs[j].def {
+					delete(in, evs[j].v)
+				} else {
+					in[evs[j].v] = true
+				}
+			}
+			for v := range in {
+				if !liveIn[b][v] {
+					liveIn[b][v] = true
+					changed = true
+				}
+			}
+			for v := range liveIn[b] {
+				if !in[v] {
+					delete(liveIn[b], v)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// UsedAfter reports whether v may be read after node n (a block node
+// that defines v) executes: a use reaches before any redefinition on
+// some path. Escaped variables are always considered used. When n is
+// not a recorded block node, UsedAfter is conservatively true.
+func (lv *Liveness) UsedAfter(n ast.Node, v *types.Var) bool {
+	if v == nil || lv.escaped[v] {
+		return true
+	}
+	blk, _ := lv.g.BlockAt(n.Pos())
+	if blk == nil {
+		return true
+	}
+	evs := lv.events[blk]
+	// Skip past n's own events, then scan the rest of the block.
+	i := 0
+	for i < len(evs) && evs[i].node != n {
+		i++
+	}
+	if i == len(evs) {
+		return true // n produced no events we can anchor to
+	}
+	for i < len(evs) && evs[i].node == n {
+		i++
+	}
+	for ; i < len(evs); i++ {
+		if evs[i].v != v {
+			continue
+		}
+		if evs[i].def {
+			return false // redefined before any use
+		}
+		return true
+	}
+	return lv.liveOut[blk][v]
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

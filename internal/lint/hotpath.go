@@ -1,0 +1,356 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/crhkit/crh/internal/lint/flow"
+)
+
+// HotPath keeps the solver's inner loops allocation-free. A function
+// annotated `//crh:hotpath` — and every module function it transitively
+// calls, per the static call graph — must not contain an allocation
+// site. The solver's weight and truth updates run per (entry, source,
+// property) per iteration; one hidden allocation there turns the
+// zero-steady-state-allocation design (docs/DESIGN.md, bench_test.go's
+// allocs-per-op counts) into GC pressure proportional to data size.
+//
+// Flagged allocation sites:
+//
+//   - slice and map composite literals, and &T{...} (escapes to heap);
+//     plain value struct literals are fine — they live in registers or
+//     on the stack;
+//   - make of a map or channel; make of a slice with a non-constant
+//     length or capacity;
+//   - new(T);
+//   - append (growth reallocates; amortized-append scratch buffers take
+//     a reasoned suppression);
+//   - string <-> []byte / []rune conversions and string concatenation;
+//   - implicit interface boxing: a concrete value passed to an
+//     interface parameter, assigned to an interface variable, or
+//     returned as an interface result (nil and interface-to-interface
+//     are free);
+//   - function literals that capture enclosing locals (non-capturing
+//     literals are static), and go statements.
+//
+// Approximations: calls through interfaces and function values are not
+// traversed (the call graph is static), and a function reached from two
+// annotated roots is attributed to the lexically first one.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation sites in //crh:hotpath functions and their transitive callees",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	var roots []string
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPathAnnotated(fd) {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				roots = append(roots, flow.FuncID(obj))
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	cg := pass.CallGraph()
+	reached := cg.Reachable(roots)
+	ids := make([]string, 0, len(reached))
+	for id := range reached {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fi := cg.Funcs[id]
+		if fi == nil {
+			continue
+		}
+		scanAllocs(pass, fi, reached[id])
+	}
+}
+
+// isHotPathAnnotated reports whether the declaration's doc comment
+// carries //crh:hotpath.
+func isHotPathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if strings.HasPrefix(text, "crh:hotpath") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanAllocs reports every allocation site in one reached function.
+// fi.Info is the defining package's type information, which may differ
+// from pass.Pkg's — the call graph carries it precisely so callees in
+// other packages can be scanned here.
+func scanAllocs(pass *Pass, fi *flow.FuncInfo, rootID string) {
+	info := fi.Info
+	root := shortFuncID(pass, rootID)
+	self := shortFuncID(pass, fi.ID)
+	via := ""
+	if fi.ID != rootID {
+		via = " (on the //crh:hotpath path from " + root + ")"
+	}
+	reported := map[ast.Node]bool{}
+	report := func(pos token.Pos, msg string) {
+		pass.Reportf(pos, "%s in hot-path function %s%s", msg, self, via)
+	}
+	// markLits prevents nested composite literals from re-reporting.
+	markLits := func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, ok := x.(*ast.CompositeLit); ok {
+				reported[x] = true
+			}
+			return true
+		})
+	}
+
+	decl := fi.Decl
+	declSig, _ := info.Defs[decl.Name].(*types.Func)
+	var sigStack []*types.Signature
+	if declSig != nil {
+		if s, ok := declSig.Type().(*types.Signature); ok {
+			sigStack = append(sigStack, s)
+		}
+	}
+
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if captures(info, decl, n) {
+				report(n.Pos(), "closure captures enclosing locals and allocates")
+			}
+			if s, ok := info.TypeOf(n).(*types.Signature); ok {
+				sigStack = append(sigStack, s)
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement spawns a goroutine")
+		case *ast.CompositeLit:
+			if reported[n] {
+				return true
+			}
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+				markLits(n)
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+				markLits(n)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := unparenExpr(n.X).(*ast.CompositeLit); ok && !reported[cl] {
+					report(n.Pos(), "&composite literal escapes to the heap")
+					markLits(cl)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) && !isConstExpr(info, n) {
+				report(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkCallAlloc(info, n, report)
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN && len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if boxes(info, info.TypeOf(n.Lhs[i]), n.Rhs[i]) {
+						report(n.Rhs[i].Pos(), "assignment boxes a concrete value into an interface")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil && len(n.Values) == len(n.Names) {
+				for _, v := range n.Values {
+					if boxes(info, info.TypeOf(n.Type), v) {
+						report(v.Pos(), "declaration boxes a concrete value into an interface")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(sigStack) == 0 {
+				return true
+			}
+			res := sigStack[len(sigStack)-1].Results()
+			if res.Len() == len(n.Results) {
+				for i, r := range n.Results {
+					if boxes(info, res.At(i).Type(), r) {
+						report(r.Pos(), "return boxes a concrete value into an interface")
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok && len(sigStack) > 1 {
+				sigStack = sigStack[:len(sigStack)-1]
+			}
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		return visit(n)
+	})
+}
+
+// checkCallAlloc handles the call-shaped allocation sites: make, new,
+// append, string conversions, and argument boxing.
+func checkCallAlloc(info *types.Info, call *ast.CallExpr, report func(token.Pos, string)) {
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst, src := info.TypeOf(call), info.TypeOf(call.Args[0])
+		if isStringByteConversion(dst, src) && !isConstExpr(info, call) {
+			report(call.Pos(), "string <-> byte/rune slice conversion allocates")
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "new":
+				report(call.Pos(), "new() allocates")
+			case "append":
+				report(call.Pos(), "append may grow and reallocate")
+			case "make":
+				mt := info.TypeOf(call)
+				if mt == nil {
+					return
+				}
+				switch mt.Underlying().(type) {
+				case *types.Map:
+					report(call.Pos(), "make(map) allocates")
+				case *types.Chan:
+					report(call.Pos(), "make(chan) allocates")
+				case *types.Slice:
+					for _, sz := range call.Args[1:] {
+						if !isConstExpr(info, sz) {
+							report(call.Pos(), "make([]T) with non-constant size allocates unboundedly")
+							break
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+	// Argument boxing against the callee's signature.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // a ...slice passes through unboxed
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, pt, arg) {
+			report(arg.Pos(), "argument boxes a concrete value into an interface parameter")
+			return // one report per call is enough
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst
+// converts a concrete value to an interface (an allocation unless the
+// value is pointer-shaped and hot in cache — conservatively flagged).
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+// captures reports whether lit references a variable declared in the
+// enclosing function but outside the literal itself.
+func captures(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return !found
+		}
+		if v.Pos() >= enclosing.Pos() && v.Pos() < lit.Pos() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStringByteConversion matches string <-> []byte / []rune.
+func isStringByteConversion(dst, src types.Type) bool {
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// isConstExpr reports whether the expression is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// shortFuncID strips the module path prefix from a call-graph ID for
+// readable diagnostics.
+func shortFuncID(pass *Pass, id string) string {
+	return strings.ReplaceAll(id, pass.Pkg.Module.Path+"/", "")
+}

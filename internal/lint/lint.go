@@ -36,8 +36,11 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
+
+	"github.com/crhkit/crh/internal/lint/flow"
 )
 
 // An Analyzer is one named check. Run inspects a single loaded package
@@ -53,14 +56,51 @@ type Analyzer struct {
 }
 
 // A Pass carries one analyzer's view of one package plus the reporting
-// sink.
+// sink and the run-wide dataflow caches.
 type Pass struct {
 	// Analyzer is the check being run.
 	Analyzer *Analyzer
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// All lists every package of the run — the whole-module view the
+	// call-graph-driven analyzers need.
+	All []*Package
 	// report receives diagnostics.
 	report func(Diagnostic)
+	// shared holds the run's memoized dataflow structures.
+	shared *runShared
+}
+
+// runShared carries dataflow structures built at most once per Run and
+// shared by every (package, analyzer) pass: per-function CFGs and the
+// module-local call graph.
+type runShared struct {
+	pkgs  []*Package
+	cfgs  map[ast.Node]*flow.Graph
+	graph *flow.CallGraph
+}
+
+// CFG returns the control-flow graph of fn (an *ast.FuncDecl or
+// *ast.FuncLit), building and memoizing it on first request.
+func (p *Pass) CFG(fn ast.Node) *flow.Graph {
+	if g, ok := p.shared.cfgs[fn]; ok {
+		return g
+	}
+	g := flow.New(fn)
+	p.shared.cfgs[fn] = g
+	return g
+}
+
+// CallGraph returns the module-local static call graph over every
+// package of the run, building it on first request.
+func (p *Pass) CallGraph() *flow.CallGraph {
+	if p.shared.graph == nil {
+		p.shared.graph = flow.NewCallGraph(p.Pkg.Module.Path)
+		for _, pkg := range p.shared.pkgs {
+			p.shared.graph.AddPackage(pkg.Files, pkg.TypesInfo)
+		}
+	}
+	return p.shared.graph
 }
 
 // Reportf records a finding at pos.
@@ -73,11 +113,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // A Diagnostic is one finding: a position, the analyzer that produced
-// it, and a message.
+// it, and a message. Suppressed findings survive only in RunAll's
+// output, flagged and carrying their directive's reason.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding silenced by a //lint:ignore directive;
+	// Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
 }
 
 // String renders the diagnostic in the canonical crhlint format.
@@ -94,6 +139,10 @@ func Analyzers() []*Analyzer {
 		Layering,
 		StdlibOnly,
 		ExportedDoc,
+		MapOrder,
+		LockGuard,
+		ErrFlow,
+		HotPath,
 		Directive,
 	}
 }
@@ -114,16 +163,31 @@ func ByName(name string) *Analyzer {
 // unused directives are reported through the directive analyzer. Run is
 // deterministic: same packages, same analyzers, same output.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range RunAll(pkgs, analyzers) {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: every diagnostic is
+// returned, suppressed ones flagged with their directive's reason — the
+// machine-readable record cmd/crhlint -json archives for CI.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	sup := newSuppressions(pkgs)
+	shared := &runShared{pkgs: pkgs, cfgs: map[ast.Node]*flow.Graph{}}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			if a.Run == nil { // the directive analyzer runs in the driver below
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
-				if sup.suppressed(d) {
-					return
+			pass := &Pass{Analyzer: a, Pkg: pkg, All: pkgs, shared: shared, report: func(d Diagnostic) {
+				if reason, ok := sup.suppressed(d); ok {
+					d.Suppressed = true
+					d.Reason = reason
 				}
 				diags = append(diags, d)
 			}}

@@ -115,7 +115,17 @@ func TestGlobalRandGolden(t *testing.T)  { runGolden(t, "globalrand", GlobalRand
 func TestLayeringGolden(t *testing.T)    { runGolden(t, "layering", Layering) }
 func TestStdlibOnlyGolden(t *testing.T)  { runGolden(t, "stdlibonly", StdlibOnly) }
 func TestExportedDocGolden(t *testing.T) { runGolden(t, "exporteddoc", ExportedDoc) }
+func TestMapOrderGolden(t *testing.T)    { runGolden(t, "maporder", MapOrder) }
+func TestLockGuardGolden(t *testing.T)   { runGolden(t, "lockguard", LockGuard) }
+func TestErrFlowGolden(t *testing.T)     { runGolden(t, "errflow", ErrFlow) }
+func TestHotPathGolden(t *testing.T)     { runGolden(t, "hotpath", HotPath) }
 func TestDirectiveGolden(t *testing.T)   { runGolden(t, "directive", FloatCmp, Directive) }
+
+// TestSuppressWrapGolden pins directive binding on statements wrapped
+// across lines: standalone directives cover the whole next statement,
+// trailing directives only their own line. Directive runs too, so an
+// unused (mis-bound) suppression would fail the test.
+func TestSuppressWrapGolden(t *testing.T) { runGolden(t, "suppresswrap", FloatCmp, Directive) }
 
 // TestSuppression proves //lint:ignore silences a finding end to end:
 // the suppress module contains real floatcmp violations, every one
@@ -152,10 +162,12 @@ func TestDiagnosticFormat(t *testing.T) {
 	}
 }
 
-// TestAnalyzersRegistered pins the registry: the issue's five project
-// analyzers plus the directive validator, each with a one-line doc.
+// TestAnalyzersRegistered pins the registry: the original five project
+// analyzers, the four dataflow analyzers, and the directive validator,
+// each with a one-line doc.
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"floatcmp", "globalrand", "layering", "stdlibonly", "exporteddoc", "directive"}
+	want := []string{"floatcmp", "globalrand", "layering", "stdlibonly", "exporteddoc",
+		"maporder", "lockguard", "errflow", "hotpath", "directive"}
 	as := Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("Analyzers() = %d analyzers, want %d", len(as), len(want))

@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"github.com/crhkit/crh/internal/lint/flow"
+)
+
+// LockGuard enforces `// crh:guardedby <mutex>` annotations on struct
+// fields: every access to an annotated field must sit on a path where
+// the named sibling mutex is provably held — a Lock/RLock call
+// dominates in the must-held dataflow sense and no Unlock intervenes.
+//
+// The registry and WAL keep per-dataset state behind fine-grained
+// locks (internal/server, internal/wal); the race detector only
+// catches violations the test schedule happens to produce, while this
+// check is schedule-independent.
+//
+// Analysis shape (and its deliberate approximations):
+//
+//   - A forward must-held analysis over the function's CFG tracks the
+//     set of held mutexes as "base.path" strings (e.g. "e.mu").
+//     Lock/RLock adds, Unlock/RUnlock removes; merges intersect.
+//   - A deferred Unlock does not remove: it runs at function exit, so
+//     the lock stays held for the rest of the body.
+//   - Values whose every definition is a fresh allocation (&T{}, T{},
+//     new(T)) are exempt: a just-constructed value is unshared, and
+//     constructors legitimately initialize guarded fields unlocked.
+//   - Function literals are not analyzed against the enclosing scope's
+//     lock state (they may run later); accesses inside them are skipped.
+//   - Test files are skipped: tests construct and poke single-goroutine
+//     fixtures.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "enforce // crh:guardedby mutex annotations on struct field access",
+	Run:  runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`crh:guardedby\s+([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo is one annotated field: the guarding mutex field's name.
+type guardInfo struct {
+	mutex string
+}
+
+func runLockGuard(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockGuardFunc(pass, guards, fd)
+			}
+		}
+	}
+}
+
+// collectGuards parses the package's struct declarations for
+// crh:guardedby annotations, validating that the named mutex is a
+// sibling field with Lock/Unlock methods.
+func collectGuards(pass *Pass) map[*types.Var]guardInfo {
+	guards := map[*types.Var]guardInfo{}
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex, at := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				if !hasField(st, mutex) {
+					pass.Reportf(at, "crh:guardedby names %q, which is not a field of this struct", mutex)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						guards[v] = guardInfo{mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, returning the annotation's position for error reporting.
+func guardAnnotation(field *ast.Field) (string, token.Pos) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := guardedByRE.FindStringSubmatch(c.Text); m != nil {
+				return m[1], c.Pos()
+			}
+		}
+	}
+	return "", 0
+}
+
+// hasField reports whether st declares (or embeds) a field named name.
+func hasField(st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+		if len(f.Names) == 0 { // embedded
+			if id := embeddedName(f.Type); id == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// heldSet is the must-held lattice element: a set of "base.mutex" path
+// strings, with nil meaning ⊤ (unvisited).
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	c := heldSet{}
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect keeps only mutexes held on both paths.
+func (h heldSet) intersect(o heldSet) heldSet {
+	out := heldSet{}
+	for k := range h {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (h heldSet) equal(o heldSet) bool {
+	if len(h) != len(o) {
+		return false
+	}
+	for k := range h {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLockGuardFunc runs the must-held analysis over one function and
+// reports unguarded accesses.
+func checkLockGuardFunc(pass *Pass, guards map[*types.Var]guardInfo, fd *ast.FuncDecl) {
+	info := pass.Pkg.TypesInfo
+	if !mentionsGuarded(info, fd.Body, guards) {
+		return
+	}
+	owned := ownedVars(info, fd.Body)
+	g := pass.CFG(fd)
+	rpo := g.ReversePostorder()
+
+	// Forward fixpoint: in[entry] = ∅, merge = intersection (⊤ for
+	// unvisited predecessors), transfer = lock/unlock calls in block
+	// order.
+	in := map[*flow.Block]heldSet{}
+	in[g.Entry] = heldSet{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if in[b] == nil {
+				continue
+			}
+			out := transferHeld(info, b, in[b], nil, nil, nil)
+			for _, s := range b.Succs {
+				var next heldSet
+				if in[s] == nil {
+					next = out.clone()
+				} else {
+					next = in[s].intersect(out)
+				}
+				if in[s] == nil || !next.equal(in[s]) {
+					in[s] = next
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Report pass: replay each block's transfer, checking guarded
+	// accesses against the running held set.
+	for _, b := range rpo {
+		if in[b] == nil {
+			continue
+		}
+		transferHeld(info, b, in[b], guards, owned, pass)
+	}
+}
+
+// transferHeld applies block b's lock operations to held (returning the
+// out-state). When pass is non-nil it also reports guarded-field
+// accesses made while the matching mutex is not in the set.
+func transferHeld(info *types.Info, b *flow.Block, held heldSet, guards map[*types.Var]guardInfo, owned map[types.Object]bool, pass *Pass) heldSet {
+	cur := held.clone()
+	// Within a block, report each offending field once.
+	reported := map[string]bool{}
+	for _, n := range b.Nodes {
+		_, inDefer := n.(*ast.DeferStmt)
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if base, op, ok := lockOp(info, x); ok {
+					switch op {
+					case "Lock", "RLock":
+						if !inDefer {
+							cur[base] = true
+						}
+					case "Unlock", "RUnlock":
+						// A deferred unlock runs at exit; the lock stays
+						// held for the remainder of the body.
+						if !inDefer {
+							delete(cur, base)
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if pass == nil {
+					return true
+				}
+				v, ok := info.Uses[x.Sel].(*types.Var)
+				if !ok {
+					return true
+				}
+				gi, ok := guards[v]
+				if !ok {
+					return true
+				}
+				base := exprPath(x.X)
+				if base == "" {
+					return true
+				}
+				if root := rootObject(info, x.X); root != nil && owned[root] {
+					return true // freshly allocated, unshared
+				}
+				need := base + "." + gi.mutex
+				key := need + ":" + x.Sel.Name
+				if !cur[need] && !reported[key] {
+					reported[key] = true
+					pass.Reportf(x.Sel.Pos(), "%s.%s is guarded by %s; access without holding %s.%s",
+						base, x.Sel.Name, gi.mutex, base, gi.mutex)
+				}
+			}
+			return true
+		})
+	}
+	return cur
+}
+
+// lockOp matches m.Lock()/RLock()/Unlock()/RUnlock() where the method
+// comes from sync (Mutex, RWMutex, or a type embedding one) and returns
+// the path of the locked value and the operation name.
+func lockOp(info *types.Info, call *ast.CallExpr) (base, op string, ok bool) {
+	se, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	switch se.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, okFn := info.Uses[se.Sel].(*types.Func)
+	if !okFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	base = exprPath(se.X)
+	if base == "" {
+		return "", "", false
+	}
+	return base, se.Sel.Name, true
+}
+
+// exprPath renders a selector chain of plain identifiers ("e.mu",
+// "r.warmMu") or "" when the expression is anything fancier. Parens and
+// derefs are transparent.
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprPath(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	}
+	return ""
+}
+
+// rootObject returns the object of the leftmost identifier in a
+// selector chain.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ownedVars finds local variables whose every definition is a fresh
+// allocation — &T{}, T{}, or new(T) — and which therefore cannot be
+// shared with another goroutine yet.
+func ownedVars(info *types.Info, body ast.Node) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	seen := map[types.Object]bool{}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		ok := rhs != nil && isFreshAlloc(info, rhs)
+		if !seen[obj] {
+			seen[obj] = true
+			fresh[obj] = ok
+		} else {
+			fresh[obj] = fresh[obj] && ok
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						record(id, n.Rhs[i])
+					}
+				}
+			} else {
+				for _, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						record(id, nil)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) && len(n.Values) == len(n.Names) {
+					rhs = n.Values[i]
+				}
+				record(name, rhs)
+			}
+		}
+		return true
+	})
+	out := map[types.Object]bool{}
+	for obj, ok := range fresh {
+		if ok {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// isFreshAlloc matches &T{...}, T{...}, and new(T).
+func isFreshAlloc(info *types.Info, e ast.Expr) bool {
+	switch e := unparenExpr(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := unparenExpr(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		return isBuiltin(info, e, "new")
+	}
+	return false
+}
+
+func unparenExpr(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// mentionsGuarded is a quick pre-filter: does the body name any guarded
+// field at all?
+func mentionsGuarded(info *types.Info, body ast.Node, guards map[*types.Var]guardInfo) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if se, ok := n.(*ast.SelectorExpr); ok {
+			if v, ok := info.Uses[se.Sel].(*types.Var); ok {
+				if _, ok := guards[v]; ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

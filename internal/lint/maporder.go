@@ -1,0 +1,437 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags map iteration whose order can leak into observable
+// output. Go randomizes map range order per run; CRH's reproducibility
+// contract (bit-identical resolved truths across runs and worker
+// budgets, docs/PARALLEL.md) dies the moment a map range feeds an
+// order-sensitive computation: a float accumulation (summation order
+// changes the rounding), string concatenation, a write to an encoder or
+// output stream, or a slice that later reaches one of those without
+// passing through a sort.
+//
+// Two shapes are reported, in non-test code:
+//
+//   - a direct sink inside the range body: s += f(v) on a float or
+//     string, or a Write/Encode/Print call whose arguments depend on
+//     the iteration variables;
+//   - a collector: keys or values appended to a slice declared outside
+//     the loop, where some later read of that slice is not dominated
+//     (in the control-flow-graph sense) by a sort call on it.
+//
+// The negative form is the fix: collect, sort, then consume — exactly
+// the EditDistance candidate-selection pattern PR 2's sweep installed.
+// Commutative aggregations (integer counters, max/min tracking, map
+// writes) are not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map-range iteration order flowing into order-sensitive sinks without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if pass.Pkg.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapOrderFunc(pass, fd, fd.Body)
+			}
+		}
+	}
+}
+
+// checkMapOrderFunc analyzes one function body, recursing into nested
+// function literals as their own functions (a collector and its sort
+// must live in the same function for the dominance argument to hold).
+func checkMapOrderFunc(pass *Pass, fn ast.Node, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	var lits []*ast.FuncLit
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.RangeStmt:
+			if isMapType(pass.Pkg.TypesInfo.TypeOf(n.X)) {
+				ranges = append(ranges, n)
+			}
+		}
+		return true
+	})
+	for _, r := range ranges {
+		checkMapRange(pass, fn, body, r)
+	}
+	for _, lit := range lits {
+		checkMapOrderFunc(pass, lit, lit.Body)
+	}
+}
+
+// checkMapRange reports direct sinks inside r's body and collects
+// slice accumulators for the sort-dominance check.
+func checkMapRange(pass *Pass, fn ast.Node, fnBody *ast.BlockStmt, r *ast.RangeStmt) {
+	info := pass.Pkg.TypesInfo
+	loopVars := map[types.Object]bool{}
+	for _, kv := range []ast.Expr{r.Key, r.Value} {
+		if id, ok := kv.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return // `for range m` only counts iterations
+	}
+	dependsOnLoop := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	collectors := map[*types.Var]bool{}
+	inspectShallow(r.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if v, ok := collectorAppend(info, n); ok {
+				// Only accumulators declared outside the loop can leak
+				// the order; loop-local slices die each iteration.
+				if v.Pos() < r.Pos() && appendArgsDepend(info, n, dependsOnLoop) {
+					collectors[v] = true
+				}
+				return true
+			}
+			if ok, what := orderSensitiveAssign(info, n, dependsOnLoop); ok {
+				pass.Reportf(n.Pos(), "map iteration order flows into %s; iterate sorted keys instead", what)
+			}
+		case *ast.CallExpr:
+			if name, ok := sinkCall(info, n); ok {
+				for _, a := range n.Args {
+					if dependsOnLoop(a) {
+						pass.Reportf(n.Pos(), "map iteration order flows into %s; iterate sorted keys instead", name)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	for v := range collectors {
+		checkCollectorUses(pass, fn, fnBody, r, v)
+	}
+}
+
+// collectorAppend matches `dst = append(dst, ...)` (also in multi-value
+// assignments) and returns dst's variable.
+func collectorAppend(info *types.Info, as *ast.AssignStmt) (*types.Var, bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil, false
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var obj types.Object
+		if o, ok := info.Uses[id]; ok {
+			obj = o
+		} else {
+			obj = info.Defs[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// appendArgsDepend reports whether any appended value depends on the
+// loop variables.
+func appendArgsDepend(info *types.Info, as *ast.AssignStmt, dep func(ast.Expr) bool) bool {
+	for _, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(info, call, "append") {
+			continue
+		}
+		for _, a := range call.Args[1:] {
+			if dep(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// orderSensitiveAssign matches accumulation whose result depends on
+// iteration order: += (or x = x + e) on float or string operands fed by
+// loop-dependent values.
+func orderSensitiveAssign(info *types.Info, as *ast.AssignStmt, dep func(ast.Expr) bool) (bool, string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false, ""
+	}
+	lhsType := info.TypeOf(as.Lhs[0])
+	if lhsType == nil {
+		return false, ""
+	}
+	basic, ok := lhsType.Underlying().(*types.Basic)
+	if !ok {
+		return false, ""
+	}
+	kind := ""
+	switch {
+	case basic.Info()&types.IsFloat != 0:
+		kind = "a floating-point accumulation (summation order changes the rounding)"
+	case basic.Info()&types.IsString != 0:
+		kind = "string concatenation"
+	default:
+		return false, ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		if dep(as.Rhs[0]) {
+			return true, kind
+		}
+	case token.ASSIGN:
+		// x = x + e
+		if be, ok := as.Rhs[0].(*ast.BinaryExpr); ok && be.Op == token.ADD {
+			if lid, ok := as.Lhs[0].(*ast.Ident); ok && mentionsObject(info, be, info.Uses[lid]) && dep(be) {
+				return true, kind
+			}
+		}
+	}
+	return false, ""
+}
+
+// sinkCall matches calls that emit or encode data: fmt's printing
+// family and Write/Encode-shaped methods (io.Writer, buffers,
+// encoders, the WAL's AppendBatch).
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := se.Sel.Name
+	if obj, ok := info.Uses[se.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "AppendBatch":
+		if _, ok := info.Uses[se.Sel].(*types.Func); ok {
+			return name + " call", true
+		}
+	}
+	return "", false
+}
+
+// checkCollectorUses reports reads of a collector slice that no sort
+// call dominates.
+func checkCollectorUses(pass *Pass, fn ast.Node, body *ast.BlockStmt, r *ast.RangeStmt, v *types.Var) {
+	info := pass.Pkg.TypesInfo
+	g := pass.CFG(fn)
+
+	type site struct {
+		pos  token.Pos
+		node ast.Node
+	}
+	var sorts, uses []site
+
+	// Walk the function for uses of v after the collecting loop,
+	// classifying each: a sort call on v, a neutral reset/append/len,
+	// or an order-sensitive read.
+	var stack []ast.Node
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false // captured uses are out of scope for dominance
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v && id.Pos() >= r.End() {
+			cls := classifyUse(info, stack, id)
+			switch cls {
+			case useSort:
+				sorts = append(sorts, site{id.Pos(), id})
+			case useOrder:
+				uses = append(uses, site{id.Pos(), id})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != nil {
+			stack = append(stack, n)
+			if !visit(n) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		}
+		return visit(n)
+	})
+
+	for _, u := range uses {
+		ub, ui := g.BlockAt(u.pos)
+		if ub == nil {
+			continue
+		}
+		guarded := false
+		for _, s := range sorts {
+			sb, si := g.BlockAt(s.pos)
+			if sb == nil {
+				continue
+			}
+			if sb == ub && si <= ui {
+				guarded = true
+				break
+			}
+			if sb != ub && g.Dominates(sb, ub) {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			pass.Reportf(u.pos, "%s holds map-range keys (collected at line %d) and is read here without a dominating sort",
+				v.Name(), pass.Pkg.Fset.Position(r.Pos()).Line)
+		}
+	}
+}
+
+type useClass int
+
+const (
+	useNeutral useClass = iota
+	useSort
+	useOrder
+)
+
+// classifyUse decides what a single identifier use of the collector
+// means, given the ancestor stack.
+func classifyUse(info *types.Info, stack []ast.Node, id *ast.Ident) useClass {
+	// Find the nearest interesting ancestor.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.CallExpr:
+			if isSortCall(info, p) {
+				return useSort
+			}
+			if isBuiltin(info, p, "len") || isBuiltin(info, p, "cap") || isBuiltin(info, p, "append") {
+				return useNeutral
+			}
+			return useOrder
+		case *ast.SliceExpr:
+			return useNeutral // x[:0] resets; the reslice itself reads no order
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == stack[i+1] {
+					return useNeutral // assignment target
+				}
+			}
+			return useOrder
+		case *ast.RangeStmt:
+			if p.X == stack[i+1] || p.X == ast.Node(id) {
+				return useOrder // iterating the collector consumes order
+			}
+		case *ast.IndexExpr, *ast.ReturnStmt, *ast.BinaryExpr, *ast.KeyValueExpr, *ast.CompositeLit:
+			return useOrder
+		}
+	}
+	return useOrder
+}
+
+// isSortCall matches the sort/slices functions that fix an order:
+// sort.Ints/Strings/Float64s/Slice/SliceStable/Sort/Stable and
+// slices.Sort*.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[se.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// mentionsObject reports whether obj appears as an identifier in e.
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// inspectShallow walks n with fn, where returning false prunes the
+// subtree — a named wrapper for the ast.Inspect idiom used to stop at
+// function-literal boundaries.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		return fn(x)
+	})
+}

@@ -15,10 +15,15 @@ type suppression struct {
 	pos      token.Position
 	analyzer string
 	reason   string
-	// standalone directives (alone on their line) apply to the next
-	// line; trailing directives apply to their own line.
+	// standalone directives (alone on their line) apply to the
+	// statement beginning on the next line — all of it, so a directive
+	// above a wrapped statement covers findings on its continuation
+	// lines; trailing directives apply to their own line only.
 	standalone bool
-	used       bool
+	// fromLine..toLine is the inclusive line range the directive
+	// covers, resolved against the file's syntax at scan time.
+	fromLine, toLine int
+	used             bool
 	// malformed carries the problem message when the directive cannot
 	// be honored.
 	malformed string
@@ -45,6 +50,7 @@ func newSuppressions(pkgs []*Package) *suppressionSet {
 						continue
 					}
 					s := parseSuppression(pkg, f, c, known)
+					s.resolveRange(pkg, f)
 					set.byFile[s.pos.Filename] = append(set.byFile[s.pos.Filename], s)
 				}
 			}
@@ -99,23 +105,50 @@ func tokenBefore(pkg *Package, f *ast.File, pos token.Pos) bool {
 	return found
 }
 
+// resolveRange fixes the line range a directive covers. Trailing
+// directives cover their own line. Standalone directives cover the
+// statement (or declaration) that begins on the following line through
+// its last line, so a directive above a statement wrapped across lines
+// binds to the whole statement — matching where an analyzer may anchor
+// its diagnostic — rather than to the first physical line only. A
+// directive on a continuation line of a wrapped statement does NOT
+// reach back to the statement's earlier lines.
+func (s *suppression) resolveRange(pkg *Package, f *ast.File) {
+	if !s.standalone {
+		s.fromLine, s.toLine = s.pos.Line, s.pos.Line
+		return
+	}
+	s.fromLine = s.pos.Line + 1
+	s.toLine = s.fromLine
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl, *ast.Field:
+			if pkg.Fset.Position(n.Pos()).Line == s.fromLine {
+				if end := pkg.Fset.Position(n.End()).Line; end > s.toLine {
+					s.toLine = end
+				}
+			}
+		}
+		return true
+	})
+}
+
 // suppressed reports whether d is covered by a well-formed directive,
-// marking the directive used.
-func (set *suppressionSet) suppressed(d Diagnostic) bool {
+// marking the directive used and returning its reason.
+func (set *suppressionSet) suppressed(d Diagnostic) (string, bool) {
 	for _, s := range set.byFile[d.Pos.Filename] {
 		if s.malformed != "" || s.analyzer != d.Analyzer {
 			continue
 		}
-		target := s.pos.Line
-		if s.standalone {
-			target = s.pos.Line + 1
-		}
-		if d.Pos.Line == target {
+		if d.Pos.Line >= s.fromLine && d.Pos.Line <= s.toLine {
 			s.used = true
-			return true
+			return s.reason, true
 		}
 	}
-	return false
+	return "", false
 }
 
 // problems returns directive-analyzer diagnostics: malformed directives

@@ -1,0 +1,88 @@
+// Package errflow is the errflow analyzer's golden input: durability
+// errors dropped every way the analyzer catches, and the checked
+// idioms that stay quiet.
+package errflow
+
+import (
+	"os"
+
+	"example.com/errflow/internal/wal"
+)
+
+// closer is a general (non-durability) closer.
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+// Bare statement drop of a durability call.
+func dropped(l *wal.Log) {
+	l.Sync() // want "error from l.Sync is dropped"
+}
+
+// Deferring a durability close throws its error away.
+func deferredDrop(l *wal.Log) {
+	defer l.Close() // want "deferred l.Close discards its error"
+}
+
+// go f() discards the error too.
+func goDrop(l *wal.Log) {
+	go l.Sync() // want "dropped by the go statement"
+}
+
+// Blank assignment of a durability error.
+func blankDrop(l *wal.Log, b []byte) {
+	_ = l.AppendBatch(b) // want "assigned to _"
+}
+
+// Blank error slot in a tuple assignment.
+func tupleBlank(l *wal.Log, p []byte) int {
+	n, _ := l.Write(p) // want "assigned to _"
+	return n
+}
+
+// Assigned but overwritten before any read: dead, per the use-def
+// analysis.
+func deadAssign(l *wal.Log) {
+	err := l.Sync() // want "assigned to err but never read"
+	err = nil
+	_ = err
+}
+
+// os.File close and sync are durability calls wherever they appear.
+func fileDrop(f *os.File) {
+	f.Close() // want "error from f.Close is dropped"
+}
+
+// Checked: quiet.
+func checked(l *wal.Log) error {
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+// The named-defer close idiom: quiet.
+func checkedDefer(l *wal.Log) (err error) {
+	defer func() {
+		if cerr := l.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return l.Sync()
+}
+
+// Explicit discard with a reasoned suppression: quiet.
+func intentional(l *wal.Log) {
+	//lint:ignore errflow shutdown path; the process is exiting regardless
+	_ = l.Close()
+}
+
+// General closers are only flagged for bare statement drops...
+func generalDropped(c *closer) {
+	c.Close() // want "error from c.Close is dropped"
+}
+
+// ...so the idiomatic deferred body close stays quiet.
+func generalDeferred(c *closer) {
+	defer c.Close()
+}

@@ -1,0 +1,3 @@
+module example.com/errflow
+
+go 1.22

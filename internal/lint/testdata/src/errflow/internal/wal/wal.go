@@ -1,0 +1,18 @@
+// Package wal stands in for the real write-ahead log: its method set
+// puts it in the errflow analyzer's durability tier.
+package wal
+
+// A Log is a stub durability surface.
+type Log struct{}
+
+// AppendBatch appends records.
+func (l *Log) AppendBatch(b []byte) error { return nil }
+
+// Write writes raw bytes.
+func (l *Log) Write(p []byte) (int, error) { return len(p), nil }
+
+// Sync flushes to stable storage.
+func (l *Log) Sync() error { return nil }
+
+// Close releases the log.
+func (l *Log) Close() error { return nil }

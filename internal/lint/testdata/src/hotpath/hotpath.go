@@ -1,0 +1,111 @@
+// Package hotpath is the hotpath analyzer's golden input: annotated
+// functions (and their transitive callees) with and without allocation
+// sites.
+package hotpath
+
+import "example.com/hotpath/sub"
+
+// Kernel is allocation-free: index writes, arithmetic, and a clean
+// callee.
+//
+//crh:hotpath
+func Kernel(xs, out []float64) float64 {
+	s := 0.0
+	for i, x := range xs {
+		out[i] = x * x
+		s += helper(x)
+	}
+	return s
+}
+
+func helper(x float64) float64 { return x + 1 }
+
+// Bad hits the builtin allocators.
+//
+//crh:hotpath
+func Bad(n int) []int {
+	xs := make([]int, n) // want "non-constant size"
+	xs = append(xs, 1)   // want "append may grow"
+	m := map[int]int{}   // want "map literal allocates"
+	_ = m
+	return xs
+}
+
+// Fixed-size scratch is allowed: constant make sizes are bounded.
+//
+//crh:hotpath
+func FixedScratch(p []byte) [4]byte {
+	var buf [4]byte
+	copy(buf[:], p)
+	return buf
+}
+
+// Outer is clean itself, but its callee allocates: the finding lands in
+// the callee, attributed to this root.
+//
+//crh:hotpath
+func Outer(x int) int { return inner(x) }
+
+type point struct{ x, y int }
+
+func inner(x int) int {
+	p := &point{x, x} // want "composite literal escapes"
+	return p.x
+}
+
+// CallsSub reaches an allocating callee in another package.
+//
+//crh:hotpath
+func CallsSub(s string) int { return len(sub.Leaf(s)) }
+
+// Capturing closures allocate; non-capturing ones are static.
+//
+//crh:hotpath
+func Closes(seed int) func() int {
+	i := seed
+	f := func() int { // want "closure captures"
+		i++
+		return i
+	}
+	return f
+}
+
+//crh:hotpath
+func Statics() int {
+	f := func(a int) int { return a * 2 }
+	return f(21)
+}
+
+// Returning a concrete value as an interface boxes it.
+//
+//crh:hotpath
+func Boxes(x int) any {
+	return x // want "return boxes a concrete value"
+}
+
+//crh:hotpath
+func Concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//crh:hotpath
+func Spawns() {
+	go drain() // want "go statement spawns"
+}
+
+func drain() {}
+
+// A reasoned suppression silences an intentional amortized append.
+//
+//crh:hotpath
+func Amortized(buf []int, n int) []int {
+	//lint:ignore hotpath amortized growth; callers reuse buf across calls
+	buf = append(buf, n)
+	return buf
+}
+
+// coldAlloc is neither annotated nor reachable from an annotated root:
+// it may allocate freely.
+func coldAlloc() []int {
+	return make([]int, 128)
+}

@@ -1,0 +1,8 @@
+// Package sub holds a callee in another package: hotpath reachability
+// crosses package boundaries through the module-local call graph.
+package sub
+
+// Leaf converts, which allocates.
+func Leaf(s string) []byte {
+	return []byte(s) // want "conversion allocates"
+}

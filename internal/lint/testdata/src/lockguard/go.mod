@@ -1,0 +1,3 @@
+module example.com/lockguard
+
+go 1.22

@@ -1,0 +1,92 @@
+// Package lockguard is the lockguard analyzer's golden input:
+// crh:guardedby annotations honored and violated.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// crh:guardedby mu
+	n int
+}
+
+// Inline lock/unlock bracketing the access: quiet.
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// defer mu.Unlock() runs at exit, so the lock is held for the whole
+// remainder of the body: quiet.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// No lock at all.
+func (c *counter) bare() {
+	c.n++ // want "guarded by mu"
+}
+
+// The lock was released before the second access.
+func (c *counter) afterUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n-- // want "guarded by mu"
+}
+
+// Held on one path only: the merge loses it.
+func (c *counter) branchy(x bool) {
+	if x {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	c.n++ // want "guarded by mu"
+}
+
+// A freshly constructed value is unshared; initializing its guarded
+// fields without the lock is fine.
+func fresh(seed int) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}
+
+// Reads under an RWMutex read lock count as held.
+type table struct {
+	rw sync.RWMutex
+	// crh:guardedby rw
+	rows map[string]int
+}
+
+func (t *table) read(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) unlockedRead(k string) int {
+	return t.rows[k] // want "guarded by rw"
+}
+
+// Nested selector paths: the mutex must be the sibling on the same
+// base.
+type outer struct {
+	inner counter
+}
+
+func (o *outer) nested() {
+	o.inner.mu.Lock()
+	o.inner.n++
+	o.inner.mu.Unlock()
+	o.inner.n++ // want "guarded by mu"
+}
+
+// The annotation must name a real sibling field.
+type wrong struct {
+	v int // crh:guardedby lock want `crh:guardedby names "lock"`
+}

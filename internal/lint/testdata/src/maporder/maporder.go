@@ -1,0 +1,134 @@
+// Package maporder is the maporder analyzer's golden input: map-range
+// order leaking into sinks, and the sorted idioms that stay quiet.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Direct sink: float accumulation — summation order changes rounding.
+func sumDirect(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v * 2 // want "floating-point accumulation"
+	}
+	return s
+}
+
+// Direct sink: string concatenation.
+func concat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "string concatenation"
+	}
+	return out
+}
+
+// The x = x + e spelling is the same sink.
+func concatLong(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out = out + k // want "string concatenation"
+	}
+	return out
+}
+
+// Direct sink: writing per-entry output inside the loop.
+func emit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf"
+	}
+}
+
+// Direct sink: builder writes.
+func builderSink(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString call"
+	}
+	return b.String()
+}
+
+// Collector escaping without a sort.
+func keysUnsorted(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks // want "without a dominating sort"
+}
+
+// A sort on only one branch does not dominate the use.
+func sortedMaybe(m map[int]int, do bool) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	if do {
+		sort.Ints(ks)
+	}
+	return ks // want "without a dominating sort"
+}
+
+// Collect, sort, consume: the canonical fix. Quiet.
+func keysSorted(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// sort.Slice also establishes the order; ranging afterwards is fine.
+func sortedSlice(m map[string]float64) []string {
+	ps := make([]string, 0, len(m))
+	for k := range m {
+		ps = append(ps, k)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		_ = p
+	}
+	return ps
+}
+
+// Commutative aggregation: integer sums do not observe order. Quiet.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// No iteration variables: nothing order-dependent flows out. Quiet.
+func size(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// len of a collector is order-neutral. Quiet.
+func collectLen(m map[string]int) int {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return len(ks)
+}
+
+// Map-to-map transfer: writing into another map preserves no order.
+// Quiet.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

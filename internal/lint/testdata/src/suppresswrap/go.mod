@@ -1,0 +1,3 @@
+module example.com/suppresswrap
+
+go 1.22

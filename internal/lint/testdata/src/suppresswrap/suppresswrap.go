@@ -1,0 +1,35 @@
+// Package suppresswrap pins how //lint:ignore directives bind to
+// statements that wrap across lines: a standalone directive covers the
+// whole statement beginning on the next line (continuation lines
+// included); a trailing directive covers only its own physical line and
+// does not reach back to the statement's first line.
+package suppresswrap
+
+// A standalone directive above a wrapped condition suppresses findings
+// on every line of that statement — here both == comparisons, one of
+// which sits on a continuation line.
+func wrapped(a, b, c, d float64) bool {
+	//lint:ignore floatcmp exact tie grouping across the wrapped condition
+	ok := a == b ||
+		c == d
+	return ok
+}
+
+// A trailing directive on the last line of a wrapped statement covers
+// that line only: the comparison on the first line is still reported.
+func trailingOnly(a, b, c, d float64) bool {
+	ok := a == b || // want "floating-point == comparison"
+		c == d //lint:ignore floatcmp trailing directives bind to their own line
+	return ok
+}
+
+// The statement-extent rule also covers multi-line composite literals:
+// one directive, findings on several inner lines.
+func literalWrapped(a, b float64) []bool {
+	//lint:ignore floatcmp exact grouping table built once at startup
+	table := []bool{
+		a == b,
+		b == a,
+	}
+	return table
+}

@@ -175,7 +175,8 @@ func (r *Registry) recoverDataset(name string) (*entry, error) {
 	for _, b := range batches {
 		want := e.snap.Load().Version + 1
 		if b.Version != want {
-			dl.Close()
+			//lint:ignore errflow the corruption error below supersedes any close failure on the bail-out path
+			_ = dl.Close()
 			return nil, fmt.Errorf("%w: WAL batch version %d, want %d", wal.ErrCorrupt, b.Version, want)
 		}
 		e.apply(walToRecs(b.Obs), b.Version)
@@ -199,12 +200,18 @@ func (r *Registry) FlushDurable() error {
 
 // CloseDurable flushes and closes every dataset's WAL — the graceful-
 // shutdown path. The entries stay registered (the process is exiting);
-// ingest after CloseDurable would fail its durable append.
-func (r *Registry) CloseDurable() {
+// ingest after CloseDurable would fail its durable append. The first
+// close failure is returned: a failed final fsync means the tail of the
+// log may not have reached stable storage, and shutdown must say so.
+func (r *Registry) CloseDurable() error {
+	var firstErr error
 	r.eachDurable(func(e *entry) {
-		e.dlog.Close()
+		if err := e.dlog.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("close %q: %w", e.name, err)
+		}
 		e.dlog = nil
 	})
+	return firstErr
 }
 
 // eachDurable runs f under e.mu for every entry with a WAL handle, in

@@ -16,6 +16,16 @@ import (
 	"github.com/crhkit/crh/internal/wal"
 )
 
+// mustClose shuts a server down, surfacing a WAL close failure as a
+// test failure — recovery assertions downstream are meaningless if the
+// final flush was lost.
+func mustClose(t *testing.T, s *Server) {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Errorf("server close: %v", err)
+	}
+}
+
 // durableServer builds a Server over dir with a tight snapshot cadence so
 // compaction paths get exercised even in short tests.
 func durableServer(t *testing.T, dir string, cfg Config) *Server {
@@ -102,10 +112,10 @@ func TestDurableRecoveryBitExact(t *testing.T) {
 			wantResolve := resolveBits(t, s1, "d")
 			wantWarm := warmBits(t, s1, "d")
 			wantInfo := e.Info()
-			s1.Close()
+			mustClose(t, s1)
 
 			s2 := durableServer(t, dir, Config{SnapshotEvery: 4})
-			defer s2.Close()
+			defer mustClose(t, s2)
 			e2, ok := s2.registry.Get("d")
 			if !ok {
 				t.Fatal("dataset not recovered")
@@ -146,9 +156,9 @@ func TestDurableRecoveryMatchesUncrashed(t *testing.T) {
 		t.Fatal(err)
 	}
 	ingestN(t, e1, 5)
-	s1.Close()
+	mustClose(t, s1)
 	s2 := durableServer(t, dir, Config{SnapshotEvery: 3})
-	defer s2.Close()
+	defer mustClose(t, s2)
 	e2, _ := s2.registry.Get("d")
 	ingestN(t, e2, 4) // note: ingestN restarts i at 0; mirrored below
 
@@ -156,7 +166,7 @@ func TestDurableRecoveryMatchesUncrashed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ref.Close()
+	defer mustClose(t, ref)
 	eRef, err := ref.registry.Create("d", strings.NewReader(testTSV))
 	if err != nil {
 		t.Fatal(err)
@@ -215,10 +225,10 @@ func TestDurableDeleteReleasesEverything(t *testing.T) {
 	if e2.Info().Observations != 0 {
 		t.Fatalf("re-created dataset inherited observations: %+v", e2.Info())
 	}
-	s.Close()
+	mustClose(t, s)
 
 	s2 := durableServer(t, dir, Config{})
-	defer s2.Close()
+	defer mustClose(t, s2)
 	e3, ok := s2.registry.Get("d")
 	if !ok {
 		t.Fatal("re-created dataset not recovered")
@@ -241,7 +251,7 @@ func TestDurableCompactionBoundsSegments(t *testing.T) {
 	ingestN(t, e, 20)
 	want := resolveBits(t, s, "d")
 	wantVersion := e.Snapshot().Version
-	s.Close()
+	mustClose(t, s)
 
 	// Snapshots pruned to the latest; no unbounded file growth.
 	entries, err := os.ReadDir(filepath.Join(dir, "d"))
@@ -257,7 +267,7 @@ func TestDurableCompactionBoundsSegments(t *testing.T) {
 	}
 
 	s2 := durableServer(t, dir, Config{SnapshotEvery: 2})
-	defer s2.Close()
+	defer mustClose(t, s2)
 	e2, _ := s2.registry.Get("d")
 	if e2.Snapshot().Version != wantVersion {
 		t.Fatalf("version %d after compacted recovery, want %d", e2.Snapshot().Version, wantVersion)
@@ -272,7 +282,7 @@ func TestDurableCompactionBoundsSegments(t *testing.T) {
 func TestDurableHTTPDeleteRecreate(t *testing.T) {
 	dir := t.TempDir()
 	s := durableServer(t, dir, Config{})
-	defer s.Close()
+	defer mustClose(t, s)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
@@ -312,7 +322,7 @@ func TestDurableCorruptWALRefusesStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	ingestN(t, e, 3)
-	s.Close()
+	mustClose(t, s)
 
 	// Flip a byte in the middle of the segment: CRC breaks on a record
 	// that is not the tail.

@@ -25,7 +25,7 @@ func TestResolveHammerSharedPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pooled.Close()
+	defer mustClose(t, pooled)
 	ts := httptest.NewServer(pooled.Handler())
 	t.Cleanup(ts.Close)
 
@@ -33,7 +33,7 @@ func TestResolveHammerSharedPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer sequential.Close()
+	defer mustClose(t, sequential)
 	ref := httptest.NewServer(sequential.Handler())
 	t.Cleanup(ref.Close)
 

@@ -180,7 +180,3 @@ func sortTruths(ts []TruthJSON) {
 		return ts[i].Property < ts[j].Property
 	})
 }
-
-func sortInfos(is []DatasetInfo) {
-	sort.Slice(is, func(i, j int) bool { return is[i].Name < is[j].Name })
-}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"math"
 	"regexp"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -83,6 +84,7 @@ type entry struct {
 	proc    *stream.Processor
 	// deleted marks an entry removed from the registry; ingest on a
 	// stale handle must not resurrect it (or its on-disk state).
+	// crh:guardedby mu
 	deleted bool
 	// dlog is the durable WAL+snapshot handle, nil in memory-only mode.
 	// lastSnap is the version of the newest on-disk snapshot and
@@ -93,11 +95,16 @@ type entry struct {
 
 	snap atomic.Pointer[Snapshot]
 
-	warmMu      sync.RWMutex
-	warmTruths  map[warmKey]warmVal
+	warmMu sync.RWMutex
+	// crh:guardedby warmMu
+	warmTruths map[warmKey]warmVal
+	// crh:guardedby warmMu
 	warmWeights []float64
-	warmSources []string // copy of sources, aligned with warmWeights
-	chunks      int
+	// copy of sources, aligned with warmWeights
+	// crh:guardedby warmMu
+	warmSources []string
+	// crh:guardedby warmMu
+	chunks int
 }
 
 type warmKey struct{ obj, prop string }
@@ -114,7 +121,8 @@ func (e *entry) Snapshot() *Snapshot { return e.snap.Load() }
 // Registry is the concurrent named-dataset store. All methods are safe
 // for concurrent use.
 type Registry struct {
-	mu        sync.RWMutex
+	mu sync.RWMutex
+	// crh:guardedby mu
 	entries   map[string]*entry
 	nextUID   atomic.Int64
 	streamCfg stream.Config
@@ -555,7 +563,8 @@ func (r *Registry) Delete(name string) (bool, error) {
 	e.warmMu.Unlock()
 
 	if dlog != nil {
-		dlog.Close()
+		//lint:ignore errflow the dataset's on-disk state is removed next; a close failure cannot lose data the Remove keeps
+		_ = dlog.Close()
 	}
 	if r.store != nil {
 		if err := r.store.Remove(name); err != nil {
@@ -609,10 +618,13 @@ func (r *Registry) List() []DatasetInfo {
 		entries = append(entries, e)
 	}
 	r.mu.RUnlock()
+	// Sort the entries themselves, not the derived infos: the map-range
+	// collection above has no order, and sorting before the reads keeps
+	// the whole pipeline order-independent (maporder checks exactly this).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	infos := make([]DatasetInfo, len(entries))
 	for i, e := range entries {
 		infos[i] = e.Info()
 	}
-	sortInfos(infos)
 	return infos
 }

@@ -180,10 +180,12 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // Close flushes and closes every dataset's WAL (making lazily-synced
 // writes durable — the graceful-shutdown flush) and releases the shared
 // solver worker pool. Call it after the HTTP server has drained; it must
-// not run concurrently with live requests.
-func (s *Server) Close() {
-	s.registry.CloseDurable()
+// not run concurrently with live requests. The returned error is the
+// first WAL close failure — a shutdown that may have lost the log tail.
+func (s *Server) Close() error {
+	err := s.registry.CloseDurable()
 	s.pool.Close()
+	return err
 }
 
 // solverBudget splits the pool across the n computations now in flight:

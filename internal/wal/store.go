@@ -132,7 +132,8 @@ func (s *Store) Open(name string) (*DatasetLog, *Snapshot, []Batch, error) {
 	batches = batches[i:]
 	for j, b := range batches {
 		if want := snap.Version + int64(j) + 1; b.Version != want {
-			log.Close()
+			//lint:ignore errflow the corruption error below supersedes any close failure on the bail-out path
+			_ = log.Close()
 			return nil, nil, nil, fmt.Errorf("dataset %q: %w: WAL resumes at version %d, want %d", name, ErrCorrupt, b.Version, want)
 		}
 	}

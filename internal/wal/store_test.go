@@ -8,6 +8,14 @@ import (
 	"testing"
 )
 
+// closeDatasetLog is closeLog for the store's per-dataset handle.
+func closeDatasetLog(t *testing.T, dl *DatasetLog) {
+	t.Helper()
+	if err := dl.Close(); err != nil {
+		t.Errorf("close dataset log: %v", err)
+	}
+}
+
 func sampleSnapshot(version int64) *Snapshot {
 	return &Snapshot{
 		Version: version,
@@ -99,7 +107,7 @@ func TestStoreCreateOpenRemove(t *testing.T) {
 	if err := dl.AppendBatch(3, batchN(3)); err != nil {
 		t.Fatal(err)
 	}
-	dl.Close()
+	closeDatasetLog(t, dl)
 
 	names, err := store.List()
 	if err != nil || len(names) != 1 || names[0] != "ds" {
@@ -113,7 +121,7 @@ func TestStoreCreateOpenRemove(t *testing.T) {
 	if len(batches) != 2 || batches[0].Version != 2 || batches[1].Version != 3 {
 		t.Fatalf("replay: %+v", batches)
 	}
-	dl2.Close()
+	closeDatasetLog(t, dl2)
 
 	if err := store.Remove("ds"); err != nil {
 		t.Fatal(err)
@@ -152,7 +160,7 @@ func TestStoreSnapshotCompaction(t *testing.T) {
 	if dl.SegmentCount() >= before {
 		t.Fatalf("compaction retired nothing (%d -> %d)", before, dl.SegmentCount())
 	}
-	dl.Close()
+	closeDatasetLog(t, dl)
 
 	// Old snapshots pruned: only snap-12 remains.
 	entries, _ := os.ReadDir(filepath.Join(store.Dir(), "ds"))
@@ -188,7 +196,7 @@ func TestStoreCorruptNewestSnapshotFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dl.Close()
+	closeDatasetLog(t, dl)
 	// Hand-write a damaged newer snapshot; Open must fall back to v1.
 	bad := filepath.Join(store.Dir(), "ds", snapName(9))
 	if err := os.WriteFile(bad, []byte("crhsnap\x01garbage"), 0o644); err != nil {

@@ -24,6 +24,15 @@ func mustOpen(t *testing.T, dir string, opts Options) (*Log, []Batch) {
 	return l, batches
 }
 
+// closeLog closes l and fails the test on error: assertions about
+// on-disk segments are only meaningful if the final flush landed.
+func closeLog(t *testing.T, l *Log) {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Errorf("close log: %v", err)
+	}
+}
+
 func TestLogAppendReplay(t *testing.T) {
 	dir := t.TempDir()
 	l, batches := mustOpen(t, dir, Options{Fsync: FsyncBatch})
@@ -62,7 +71,7 @@ func TestLogTornTailTruncation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	l.Close()
+	closeLog(t, l)
 
 	names, err := listSegments(dir)
 	if err != nil || len(names) != 1 {
@@ -87,7 +96,7 @@ func TestLogTornTailTruncation(t *testing.T) {
 	if err := l2.AppendBatch(4, batchN(4)); err != nil {
 		t.Fatal(err)
 	}
-	l2.Close()
+	closeLog(t, l2)
 	_, batches = mustOpen(t, dir, Options{})
 	if len(batches) != 3 || batches[2].Version != 4 {
 		t.Fatalf("after repair+append: %d batches, last %+v", len(batches), batches[len(batches)-1])
@@ -107,7 +116,7 @@ func TestLogTornVsInteriorDamage(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		l.Close()
+		closeLog(t, l)
 		names, _ := listSegments(dir)
 		path := filepath.Join(dir, names[0])
 		data, err := os.ReadFile(path)
@@ -125,7 +134,7 @@ func TestLogTornVsInteriorDamage(t *testing.T) {
 			t.Fatal(err)
 		}
 		l, batches := mustOpen(t, filepath.Dir(path), Options{})
-		defer l.Close()
+		defer closeLog(t, l)
 		if len(batches) != 2 || batches[1].Version != 3 {
 			t.Fatalf("after torn final record: %+v", batches)
 		}
@@ -152,7 +161,7 @@ func TestLogMidSegmentCorruptionRefuses(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	l.Close()
+	closeLog(t, l)
 	names, _ := listSegments(dir)
 	if len(names) < 3 {
 		t.Fatalf("expected rotation, got %d segments", len(names))
@@ -188,10 +197,10 @@ func TestLogRotationAndRetire(t *testing.T) {
 	if l.SegmentCount() >= before {
 		t.Fatalf("retire removed nothing (%d -> %d)", before, l.SegmentCount())
 	}
-	l.Close()
+	closeLog(t, l)
 
 	l2, batches := mustOpen(t, dir, Options{})
-	defer l2.Close()
+	defer closeLog(t, l2)
 	// Every version > 15 must survive; the replayed stream must stay
 	// contiguous from its first version.
 	if len(batches) == 0 || batches[len(batches)-1].Version != 20 {

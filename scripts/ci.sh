@@ -17,7 +17,11 @@
 #   6. make fuzz       a short coverage-guided fuzz pass over the decoder,
 #                      the solver, and the WAL record codec (the committed
 #                      corpora already ran as plain tests inside make check)
-#   7. gofmt -l        fails if any tracked Go file is unformatted
+#   7. lint self-check every analyzer crhlint -list reports must have a
+#                      golden testdata package, and the full -json report
+#                      (suppressed findings included) is archived under
+#                      results/lint-report.json as the audit record
+#   8. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -42,6 +46,21 @@ make walcheck
 
 echo "==> fuzz (short)"
 make fuzz FUZZTIME=5s
+
+echo "==> lint self-check (golden coverage + json report)"
+missing=""
+for name in $(go run ./cmd/crhlint -list | awk '{print $1}'); do
+	if [ ! -d "internal/lint/testdata/src/$name" ]; then
+		missing="$missing $name"
+	fi
+done
+if [ -n "$missing" ]; then
+	echo "lint self-check: analyzers without a golden testdata package:$missing" >&2
+	exit 1
+fi
+mkdir -p results
+go run ./cmd/crhlint -json ./... > results/lint-report.json
+echo "lint self-check: report archived at results/lint-report.json"
 
 echo "==> gofmt"
 unformatted=$(gofmt -l .)
