@@ -9,12 +9,15 @@
 #                   corpora always run as part of `make test` already)
 #   make walcheck   kill -9 a crhd subprocess mid-ingest and prove the
 #                   recovered state is bit-identical to an uncrashed replay
+#   make loadcheck  boot crhd and drive a short seeded crhload smoke
+#                   against it (zero errors, stage histograms populated)
 #   make crhd       build the truth-discovery server binary
+#   make crhload    build the load-generator binary
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet lint test race bench benchjson racehammer fuzz walcheck crhd clean
+.PHONY: check build vet lint test race bench benchjson racehammer fuzz walcheck loadcheck crhd crhload clean
 
 check: build vet lint race racehammer
 
@@ -54,8 +57,14 @@ fuzz:
 walcheck:
 	$(GO) run ./cmd/walcheck
 
+loadcheck:
+	sh scripts/loadcheck.sh
+
 crhd:
 	$(GO) build -o bin/crhd ./cmd/crhd
+
+crhload:
+	$(GO) build -o bin/crhload ./cmd/crhload
 
 clean:
 	rm -rf bin

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"github.com/crhkit/crh/internal/server"
 )
 
 // statusWriter captures the status code and body size written by the
@@ -29,6 +31,27 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
+}
+
+// stageLogFunc adapts the structured logger to the server's sampled
+// per-request stage callback (-stage-log). Each sampled resolve emits
+// one INFO record with the dataset, serving flags, total latency, and a
+// millisecond attribute per pipeline stage the request traversed.
+func stageLogFunc(log *slog.Logger) func(server.StageTimings) {
+	return func(rec server.StageTimings) {
+		attrs := []any{
+			slog.String("dataset", rec.Dataset),
+			slog.Bool("cached", rec.Cached),
+			slog.Bool("coalesced", rec.Coalesced),
+			slog.Duration("total", rec.Total),
+		}
+		for i, name := range server.StageNames {
+			if d := rec.Stages[i]; d > 0 {
+				attrs = append(attrs, slog.Duration(name, d))
+			}
+		}
+		log.Info("resolve stages", attrs...)
+	}
 }
 
 // requestLog wraps next with structured per-request logging: every

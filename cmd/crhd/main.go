@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		snapEvery = fs.Int("snapshot-every", 128, "write a snapshot (and compact the WAL) every N ingested batches")
 		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 		slow      = fs.Duration("slow", 500*time.Millisecond, "log requests at or above this latency at WARN level (0 disables)")
+		stageLog  = fs.Int("stage-log", 0, "log every Nth successful resolve's per-stage latency breakdown (0 disables)")
 		version   = fs.Bool("version", false, "print version information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,6 +83,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		return 2
 	}
 
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
+
 	srv, err := server.New(server.Config{
 		CacheCapacity: *cacheSize,
 		Decay:         *decay,
@@ -90,6 +93,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Fsync:         *fsync,
 		FsyncInterval: *fsyncIvl,
 		SnapshotEvery: *snapEvery,
+		StageLogEvery: *stageLog,
+		StageLog:      stageLogFunc(logger),
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "crhd: %v\n", err)
@@ -154,7 +159,6 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		handler = mux
 		fmt.Fprintln(stderr, "crhd: pprof enabled under /debug/pprof/")
 	}
-	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	handler = requestLog(logger, *slow, handler)
 
 	hs := &http.Server{Handler: handler}

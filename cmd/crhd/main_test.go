@@ -381,6 +381,69 @@ func TestPprofAndRequestLog(t *testing.T) {
 	}
 }
 
+// TestStageLogFlag boots crhd with -stage-log 1 and checks every
+// successful resolve emits a "resolve stages" record with per-stage
+// millisecond attributes — solve on the miss, no solve on the hit.
+func TestStageLogFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weather.tsv")
+	if err := os.WriteFile(path, []byte(smokeTSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var stderr syncBuffer
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-stage-log", "1", "weather=" + path}, &stderr, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case code := <-done:
+		t.Fatalf("server exited early with code %d: %s", code, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not become ready")
+	}
+
+	for i := 0; i < 2; i++ { // miss, then cache hit
+		resp, err := http.Post(base+"/v1/datasets/weather/resolve", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("resolve %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	logged := stderr.String()
+	if got := strings.Count(logged, `"msg":"resolve stages"`); got != 2 {
+		t.Fatalf("stage log records = %d, want 2 in:\n%s", got, logged)
+	}
+	for _, want := range []string{`"dataset":"weather"`, `"solve":`, `"cached":true`, `"cached":false`, `"decode":`, `"total":`} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("stage log missing %q in:\n%s", want, logged)
+		}
+	}
+	// The cached resolve's record must not carry a solve stage: exactly
+	// one record (the miss) mentions solve.
+	if got := strings.Count(logged, `"solve":`); got != 1 {
+		t.Errorf("records with solve stage = %d, want 1 in:\n%s", got, logged)
+	}
+}
+
 // syncBuffer is a bytes.Buffer safe for concurrent writers — the server
 // goroutine logs to it while the test reads it.
 type syncBuffer struct {

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// client wraps the HTTP conversation with one crhd instance. crhload
+// talks to the server exclusively over its public API — it deliberately
+// does not import internal/server (docs/LINT.md), so the few JSON
+// shapes it reads are mirrored locally in statsDoc.
+type client struct {
+	base    string // e.g. http://127.0.0.1:8080
+	dataset string
+	hc      *http.Client
+}
+
+// newClient builds a client with a connection pool sized for conns
+// concurrent requests against one host.
+func newClient(base, dataset string, conns int) *client {
+	if conns < 1 {
+		conns = 1
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        conns,
+		MaxIdleConnsPerHost: conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &client{
+		base:    strings.TrimRight(base, "/"),
+		dataset: dataset,
+		hc:      &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// reqSpec is one fully materialized request: the generator builds these
+// on a single goroutine (keeping the run's randomness deterministic)
+// and workers only perform the HTTP exchange.
+type reqSpec struct {
+	ep     int // endpoint index (epResolve, ...)
+	method string
+	path   string
+	body   string
+}
+
+// do performs one request, drains the response, and reports any
+// transport error or non-2xx status.
+func (c *client) do(spec reqSpec) error {
+	var body io.Reader
+	if spec.body != "" {
+		body = strings.NewReader(spec.body)
+	}
+	req, err := http.NewRequest(spec.method, c.base+spec.path, body)
+	if err != nil {
+		return err
+	}
+	if spec.body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable; a short read surfaces on the
+	// next request.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("%s %s: status %d", spec.method, spec.path, resp.StatusCode)
+	}
+	return nil
+}
+
+// seedTSV builds a deterministic starter dataset in the library's TSV
+// codec: a continuous and a categorical property over objects×sources
+// conflicting claims, enough that resolves do real solver work.
+func seedTSV(rng *rand.Rand, objects, sources int) string {
+	var sb strings.Builder
+	sb.WriteString("P\ttemp\tcontinuous\n")
+	sb.WriteString("P\tcond\tcategorical\n")
+	conds := []string{"sunny", "rain", "snow", "fog"}
+	for o := 0; o < objects; o++ {
+		for s := 0; s < sources; s++ {
+			fmt.Fprintf(&sb, "V\to%04d\ttemp\ts%02d\t%.3f\n", o, s, rng.NormFloat64()*8+20)
+			if s%2 == 0 {
+				fmt.Fprintf(&sb, "V\to%04d\tcond\ts%02d\t%s\n", o, s, conds[rng.Intn(len(conds))])
+			}
+		}
+	}
+	return sb.String()
+}
+
+// ensureDataset creates the target dataset with seeded observations; an
+// already-existing dataset (409) is fine — the run then drives whatever
+// is there, which is exactly what a repeat invocation wants.
+func (c *client) ensureDataset(rng *rand.Rand, objects, sources int) error {
+	resp, err := c.hc.Post(c.base+"/v1/datasets/"+c.dataset, "text/tab-separated-values",
+		strings.NewReader(seedTSV(rng, objects, sources)))
+	if err != nil {
+		return fmt.Errorf("create dataset %q: %w", c.dataset, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body) // drain for connection reuse
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("create dataset %q: status %d", c.dataset, resp.StatusCode)
+	}
+	return nil
+}
+
+// statsDoc mirrors the slice of GET /v1/stats that crhload reads (the
+// full document is defined by internal/server; see docs/SERVER.md).
+// Unknown fields are ignored, so the mirror only pins what the report
+// needs: per-stage totals and the cache counters.
+type statsDoc struct {
+	Cache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"cache"`
+	Stages map[string]struct {
+		Count int64   `json:"count"`
+		SumMs float64 `json:"sum_ms"`
+	} `json:"stages"`
+}
+
+// fetchStats reads /v1/stats; callers treat errors as "server has no
+// stats" and degrade (stage shares are then omitted from the report).
+func (c *client) fetchStats() (*statsDoc, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats: status %d", resp.StatusCode)
+	}
+	var doc statsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("/v1/stats: %w", err)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// sloSpec is the -slo file format (docs/LOAD.md): latency/throughput
+// targets per endpoint plus a global error-rate ceiling. Every field is
+// optional; only declared targets are checked.
+type sloSpec struct {
+	// MaxErrorRate caps total errors over total requests, in [0,1].
+	MaxErrorRate *float64 `json:"max_error_rate"`
+	// Endpoints maps endpoint name (resolve, ingest, incremental) to its
+	// targets: latency ceilings in milliseconds and a throughput floor.
+	Endpoints map[string]sloTargets `json:"endpoints"`
+}
+
+// sloTargets is one endpoint's declared service-level objectives.
+type sloTargets struct {
+	P50Ms  *float64 `json:"p50_ms"`
+	P95Ms  *float64 `json:"p95_ms"`  // see P50Ms
+	P99Ms  *float64 `json:"p99_ms"`  // see P50Ms
+	MinQPS *float64 `json:"min_qps"` // successful completions per second, at least
+}
+
+// sloResult is the verdict embedded in the run record: Pass is true
+// when every declared target held; Violations lists each failure in
+// human-readable form.
+type sloResult struct {
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// loadSLO reads and validates an SLO file.
+func loadSLO(path string) (*sloSpec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var spec sloSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if spec.MaxErrorRate != nil && (*spec.MaxErrorRate < 0 || *spec.MaxErrorRate > 1) {
+		return nil, fmt.Errorf("%s: max_error_rate %v outside [0,1]", path, *spec.MaxErrorRate)
+	}
+	for name := range spec.Endpoints {
+		known := false
+		for _, n := range endpointNames {
+			if n == name {
+				known = true
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("%s: unknown endpoint %q (want resolve, ingest, or incremental)", path, name)
+		}
+	}
+	return &spec, nil
+}
+
+// evaluateSLO checks the run record against the spec. A latency target
+// on an endpoint that served no successful request is a violation — a
+// dead endpoint must not pass its SLO vacuously.
+func evaluateSLO(spec *sloSpec, rec *serveRecord) sloResult {
+	res := sloResult{Pass: true}
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if spec.MaxErrorRate != nil && rec.ErrorRate > *spec.MaxErrorRate {
+		fail("error rate %.4f exceeds max %.4f", rec.ErrorRate, *spec.MaxErrorRate)
+	}
+	names := make([]string, 0, len(spec.Endpoints))
+	for name := range spec.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := spec.Endpoints[name]
+		rep, ok := rec.Endpoints[name]
+		if !ok || rep.P50Ms == nil {
+			if t.P50Ms != nil || t.P95Ms != nil || t.P99Ms != nil || t.MinQPS != nil {
+				fail("%s: no successful requests to judge against its SLO", name)
+			}
+			continue
+		}
+		check := func(label string, got *float64, limit *float64) {
+			if limit != nil && got != nil && *got > *limit {
+				fail("%s: %s %.2fms exceeds %.2fms", name, label, *got, *limit)
+			}
+		}
+		check("p50", rep.P50Ms, t.P50Ms)
+		check("p95", rep.P95Ms, t.P95Ms)
+		check("p99", rep.P99Ms, t.P99Ms)
+		if t.MinQPS != nil && rep.QPS < *t.MinQPS {
+			fail("%s: qps %.1f below floor %.1f", name, rep.QPS, *t.MinQPS)
+		}
+	}
+	return res
+}

@@ -52,6 +52,15 @@ const walDir = "internal/wal"
 
 var walImporters = []string{walDir, serverDir, "cmd/crhbench"} // see walDir
 
+// crhloadDir is the load-generator binary; crhloadAllowed the only
+// internal subtree it may import. crhload exists to measure crhd from the
+// outside, so it must see the server exactly as real clients do — over
+// HTTP, with its own mirrored JSON shapes — and may share only the
+// observability substrate (histograms, windows) for its measurements.
+const crhloadDir = "cmd/crhload"
+
+var crhloadAllowed = []string{"internal/obs"} // see crhloadDir
+
 // Layering enforces the repository's import DAG: internal/{stats,loss,
 // data} must not import internal/{core,server,experiments}, internal/obs
 // must not import any layer it instruments, and nothing
@@ -95,6 +104,9 @@ func runLayering(pass *Pass) {
 					from = "the root package"
 				}
 				pass.Reportf(imp.Pos(), "%s must not import %s: the durability substrate is private to internal/server (cmd/crhbench's append benchmark excepted)", from, walDir)
+			}
+			if underAny(rel, []string{crhloadDir}) && strings.HasPrefix(target, "internal/") && !underAny(target, crhloadAllowed) {
+				pass.Reportf(imp.Pos(), "%s must not import %s: the load generator measures crhd over its public HTTP surface and may share only internal/obs", rel, target)
 			}
 		}
 	}

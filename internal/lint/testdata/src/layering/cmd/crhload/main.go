@@ -1,0 +1,14 @@
+// The crhload binary measures crhd from the outside: HTTP only, plus
+// the internal/obs measurement substrate. Any other internal import
+// would couple the load generator to what it is supposed to black-box.
+package main
+
+import (
+	_ "net/http" // stdlib is always fine
+
+	_ "github.com/crhkit/crh/internal/core"   // want "cmd/crhload must not import internal/core"
+	_ "github.com/crhkit/crh/internal/obs"    // the one sanctioned internal subtree
+	_ "github.com/crhkit/crh/internal/server" // want "cmd/crhload must not import internal/server" "cmd/crhload must not import internal/server: the server subsystem is private to cmd/crhd"
+)
+
+func main() {}

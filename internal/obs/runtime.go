@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RuntimeHealth is a point-in-time view of Go process health: the
+// numbers a dashboard needs to tell "the service is slow" apart from
+// "the process is sick" (goroutine leak, heap growth, GC pressure).
+type RuntimeHealth struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int
+	// HeapInuseBytes and HeapObjects describe the live heap
+	// (runtime.MemStats HeapInuse / HeapObjects).
+	HeapInuseBytes uint64
+	HeapObjects    uint64 // see HeapInuseBytes
+	// GCCycles counts completed GC cycles since process start.
+	GCCycles uint32
+	// GCPauseP99 is the 99th-percentile stop-the-world pause over the
+	// runtime's recent-pause ring (up to the last 256 GCs; 0 before the
+	// first).
+	GCPauseP99 time.Duration
+}
+
+// runtimeCache bounds the cost of health reads: ReadMemStats stops the
+// world briefly, so concurrent scrapes within refreshEvery share one
+// reading instead of each paying for their own.
+var runtimeCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	last RuntimeHealth
+}
+
+// runtimeRefreshEvery is the maximum staleness a cached RuntimeHealth
+// reading may have.
+const runtimeRefreshEvery = 100 * time.Millisecond
+
+// ReadRuntimeHealth samples the Go runtime, reusing a recent sample
+// when one is younger than 100ms (several gauges reading at one scrape
+// cost a single ReadMemStats).
+func ReadRuntimeHealth() RuntimeHealth {
+	runtimeCache.mu.Lock()
+	defer runtimeCache.mu.Unlock()
+	if now := time.Now(); now.Sub(runtimeCache.at) >= runtimeRefreshEvery {
+		runtimeCache.last = readRuntimeHealth()
+		runtimeCache.at = now
+	}
+	return runtimeCache.last
+}
+
+// readRuntimeHealth is the uncached sampler.
+func readRuntimeHealth() RuntimeHealth {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h := RuntimeHealth{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapObjects:    ms.HeapObjects,
+		GCCycles:       ms.NumGC,
+	}
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n > 0 {
+		pauses := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			// PauseNs is a circular buffer of the most recent pauses,
+			// indexed by GC cycle number.
+			pauses[i] = ms.PauseNs[(int(ms.NumGC)-1-i+len(ms.PauseNs))%len(ms.PauseNs)]
+		}
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		idx := (99*n + 99) / 100 // ceil(0.99n), 1-based rank
+		if idx > n {
+			idx = n
+		}
+		h.GCPauseP99 = time.Duration(pauses[idx-1])
+	}
+	return h
+}
+
+// RegisterRuntimeMetrics registers Go process-health gauges on reg:
+//
+//	go_goroutines              live goroutines
+//	go_heap_inuse_bytes        bytes in in-use heap spans
+//	go_heap_objects            live heap objects
+//	go_gc_cycles               completed GC cycles
+//	go_gc_pause_p99_seconds    p99 stop-the-world pause, recent GCs
+//	process_uptime_seconds     seconds since this call
+//
+// All read through the shared 100ms cache, so one exposition pays for at
+// most one ReadMemStats.
+func RegisterRuntimeMetrics(reg *Registry) {
+	start := time.Now()
+	reg.NewGaugeFunc("go_goroutines", "live goroutines", func() float64 {
+		return float64(ReadRuntimeHealth().Goroutines)
+	})
+	reg.NewGaugeFunc("go_heap_inuse_bytes", "bytes in in-use heap spans", func() float64 {
+		return float64(ReadRuntimeHealth().HeapInuseBytes)
+	})
+	reg.NewGaugeFunc("go_heap_objects", "live heap objects", func() float64 {
+		return float64(ReadRuntimeHealth().HeapObjects)
+	})
+	reg.NewGaugeFunc("go_gc_cycles", "completed GC cycles since process start", func() float64 {
+		return float64(ReadRuntimeHealth().GCCycles)
+	})
+	reg.NewGaugeFunc("go_gc_pause_p99_seconds", "99th-percentile stop-the-world GC pause over the recent-pause ring", func() float64 {
+		return ReadRuntimeHealth().GCPauseP99.Seconds()
+	})
+	reg.NewGaugeFunc("process_uptime_seconds", "seconds since runtime metrics were registered", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

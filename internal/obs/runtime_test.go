@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestReadRuntimeHealth(t *testing.T) {
+	runtime.GC()                                                // guarantee at least one cycle so the pause ring is live
+	runtimeCache.at = runtimeCache.at.Add(-runtimeRefreshEvery) // force refresh
+	h := ReadRuntimeHealth()
+	if h.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want ≥ 1", h.Goroutines)
+	}
+	if h.HeapInuseBytes == 0 || h.HeapObjects == 0 {
+		t.Errorf("heap stats empty: %+v", h)
+	}
+	if h.GCCycles == 0 {
+		t.Errorf("gc cycles = 0 after explicit runtime.GC()")
+	}
+	if h.GCPauseP99 < 0 {
+		t.Errorf("negative pause p99: %v", h.GCPauseP99)
+	}
+}
+
+func TestRuntimeHealthCached(t *testing.T) {
+	a := ReadRuntimeHealth()
+	b := ReadRuntimeHealth() // within 100ms: same cached sample
+	if a != b {
+		t.Fatalf("back-to-back reads differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE go_goroutines gauge",
+		"go_heap_inuse_bytes",
+		"go_heap_objects",
+		"go_gc_cycles",
+		"go_gc_pause_p99_seconds",
+		"process_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

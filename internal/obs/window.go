@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is a sliding-window stats tracker: a ring of time slots, each
+// holding a fixed-bucket histogram, rotated by the clock as observations
+// arrive. A snapshot merges the live slots into one HistogramSnapshot
+// and derives the windowed rate, so consumers get "QPS and p95 over the
+// last N seconds" rather than since-process-start totals — the
+// rolling-loss-window idiom (PLStats) applied to latency streams.
+//
+// Unlike Histogram (lock-free, forever-cumulative, registry-exposed),
+// Window is mutex-guarded and unregistered: it backs progress readouts
+// (crhload's rolling report) where a bounded horizon matters more than
+// a lock-free write path. All methods are safe for concurrent use.
+type Window struct {
+	mu   sync.Mutex
+	slot time.Duration
+	// slots is the ring, guarded by mu (as are the slots' contents).
+	slots []windowSlot
+	// bounds is the shared bucket schedule of every slot (immutable
+	// after NewWindow).
+	bounds []float64
+	// epoch anchors absolute slot numbering; now is the clock, replaced
+	// in tests to drive rotation deterministically.
+	epoch time.Time
+	now   func() time.Time
+}
+
+// windowSlot is one time slot's histogram. abs is the absolute slot
+// number the data belongs to; stale slots are re-zeroed lazily when the
+// ring wraps back onto them.
+type windowSlot struct {
+	abs    int64
+	counts []int64
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// NewWindow returns a tracker covering roughly `width` of history at
+// `slot` granularity (width is rounded up to a whole number of slots,
+// minimum two so the window survives a rotation without dropping to
+// nothing). A nil bounds slice selects DefBuckets.
+func NewWindow(width, slot time.Duration, bounds []float64) *Window {
+	if slot <= 0 {
+		slot = time.Second
+	}
+	n := int((width + slot - 1) / slot)
+	if n < 2 {
+		n = 2
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	w := &Window{
+		slot:   slot,
+		slots:  make([]windowSlot, n),
+		bounds: b,
+		epoch:  time.Now(),
+		now:    time.Now,
+	}
+	for i := range w.slots {
+		w.slots[i].abs = -1
+		w.slots[i].counts = make([]int64, len(b)+1)
+	}
+	return w
+}
+
+// slotFor returns the slot for absolute slot number abs, zeroing it if
+// it still carries an older rotation's data. Callers hold w.mu.
+func (w *Window) slotFor(abs int64) *windowSlot {
+	s := &w.slots[int(abs%int64(len(w.slots)))]
+	if s.abs != abs {
+		s.abs = abs
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count, s.sum, s.max = 0, 0, 0
+	}
+	return s
+}
+
+// absSlot converts a time to an absolute slot number.
+func (w *Window) absSlot(t time.Time) int64 {
+	return int64(t.Sub(w.epoch) / w.slot)
+}
+
+// Observe records one value into the current slot.
+func (w *Window) Observe(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.slotFor(w.absSlot(w.now()))
+	i := 0
+	for i < len(w.bounds) && v > w.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.count++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus base
+// unit — matching Histogram.ObserveDuration.
+func (w *Window) ObserveDuration(d time.Duration) { w.Observe(d.Seconds()) }
+
+// WindowSnapshot is a point-in-time merge of a Window's live slots: the
+// bucketed distribution (quantiles via HistogramSnapshot.Quantile), the
+// maximum observed value, the time the merge actually covers, and the
+// derived rate.
+type WindowSnapshot struct {
+	// HistogramSnapshot holds the merged distribution of the live slots.
+	HistogramSnapshot
+	// Max is the largest value observed in the live slots (0 when empty) —
+	// bucketed quantiles clamp at the top bound, Max does not.
+	Max float64
+	// Covered is the wall time the snapshot spans: the window width,
+	// shortened when the tracker is younger than the window.
+	Covered time.Duration
+	// Rate is Count divided by Covered in seconds (0 when Covered is 0).
+	Rate float64
+}
+
+// Snapshot merges the slots still inside the window (relative to the
+// tracker's clock) and derives the rolling rate.
+func (w *Window) Snapshot() WindowSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	now := w.now()
+	cur := w.absSlot(now)
+	oldest := cur - int64(len(w.slots)) + 1
+	snap := WindowSnapshot{
+		HistogramSnapshot: HistogramSnapshot{
+			Bounds: w.bounds,
+			Counts: make([]int64, len(w.bounds)+1),
+		},
+	}
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.abs < oldest || s.abs > cur {
+			continue // stale (or never-written) slot
+		}
+		for j, c := range s.counts {
+			snap.Counts[j] += c
+		}
+		snap.Count += s.count
+		snap.Sum += s.sum
+		if s.max > snap.Max {
+			snap.Max = s.max
+		}
+	}
+	covered := time.Duration(len(w.slots)) * w.slot
+	if alive := now.Sub(w.epoch) + w.slot; alive < covered {
+		// Young tracker: the partial current slot plus whole elapsed ones.
+		covered = alive
+	}
+	snap.Covered = covered
+	if sec := covered.Seconds(); sec > 0 {
+		snap.Rate = float64(snap.Count) / sec
+	}
+	return snap
+}

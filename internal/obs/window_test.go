@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Window deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestWindow returns a window on a fake clock starting at the epoch.
+func newTestWindow(width, slot time.Duration, bounds []float64) (*Window, *fakeClock) {
+	w := NewWindow(width, slot, bounds)
+	c := &fakeClock{t: w.epoch}
+	w.now = c.now
+	return w, c
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w, _ := newTestWindow(10*time.Second, time.Second, nil)
+	snap := w.Snapshot()
+	if snap.Count != 0 || snap.Rate != 0 || snap.Max != 0 {
+		t.Fatalf("empty window: %+v", snap)
+	}
+	if !math.IsNaN(snap.Quantile(0.5)) {
+		t.Fatalf("empty quantile = %v, want NaN", snap.Quantile(0.5))
+	}
+}
+
+func TestWindowRateAndQuantiles(t *testing.T) {
+	w, c := newTestWindow(10*time.Second, time.Second, []float64{0.001, 0.01, 0.1, 1})
+	// 100 observations/second for 5 seconds, all at 5ms.
+	for s := 0; s < 5; s++ {
+		for i := 0; i < 100; i++ {
+			w.Observe(0.005)
+		}
+		c.advance(time.Second)
+	}
+	snap := w.Snapshot()
+	if snap.Count != 500 {
+		t.Fatalf("count = %d, want 500", snap.Count)
+	}
+	// Young tracker: covered is ~6s (5 elapsed + current slot).
+	if snap.Covered != 6*time.Second {
+		t.Fatalf("covered = %v, want 6s", snap.Covered)
+	}
+	if snap.Rate < 80 || snap.Rate > 100 {
+		t.Fatalf("rate = %v, want ≈83/s", snap.Rate)
+	}
+	q := snap.Quantile(0.95)
+	if q <= 0.001 || q > 0.01 {
+		t.Fatalf("p95 = %v, want in (1ms, 10ms]", q)
+	}
+	if snap.Max < 0.005-1e-12 || snap.Max > 0.005+1e-12 {
+		t.Fatalf("max = %v, want 0.005", snap.Max)
+	}
+}
+
+// TestWindowRotationExpires proves observations fall out once the clock
+// moves a full window past them — the rotation boundary contract.
+func TestWindowRotationExpires(t *testing.T) {
+	w, c := newTestWindow(4*time.Second, time.Second, nil)
+	w.Observe(1)
+	w.Observe(2)
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("count before rotation = %d, want 2", got)
+	}
+	c.advance(3 * time.Second) // still inside the 4-slot window
+	if got := w.Snapshot().Count; got != 2 {
+		t.Fatalf("count at window edge = %d, want 2", got)
+	}
+	c.advance(time.Second) // slot 0 now falls outside
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("count after expiry = %d, want 0", got)
+	}
+	// The ring reuses the expired slot without resurrecting old data.
+	w.Observe(3)
+	snap := w.Snapshot()
+	if snap.Count != 1 || snap.Max != 3 {
+		t.Fatalf("after reuse: count=%d max=%v, want 1/3", snap.Count, snap.Max)
+	}
+}
+
+// TestWindowSlotBoundary pins the exact boundary: an observation in
+// absolute slot k is visible while the current slot is < k+numSlots.
+func TestWindowSlotBoundary(t *testing.T) {
+	w, c := newTestWindow(2*time.Second, time.Second, nil) // 2 slots
+	w.Observe(1)                                           // slot 0
+	c.advance(1999 * time.Millisecond)                     // slot 1: visible
+	if got := w.Snapshot().Count; got != 1 {
+		t.Fatalf("count in adjacent slot = %d, want 1", got)
+	}
+	c.advance(time.Millisecond) // slot 2: slot 0 expired
+	if got := w.Snapshot().Count; got != 0 {
+		t.Fatalf("count after boundary = %d, want 0", got)
+	}
+}
+
+// TestWindowQuantilesUnderChurn rotates continuously while the observed
+// distribution shifts, checking the snapshot tracks only the recent mix.
+func TestWindowQuantilesUnderChurn(t *testing.T) {
+	bounds := []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5}
+	w, c := newTestWindow(5*time.Second, time.Second, bounds)
+	// 20 seconds of slow observations (100ms)...
+	for s := 0; s < 20; s++ {
+		for i := 0; i < 50; i++ {
+			w.Observe(0.1)
+		}
+		c.advance(time.Second)
+	}
+	// ...then 6 seconds of fast ones (2ms), which fully displace them.
+	for s := 0; s < 6; s++ {
+		for i := 0; i < 50; i++ {
+			w.Observe(0.002)
+		}
+		c.advance(time.Second)
+	}
+	snap := w.Snapshot()
+	// Fast writes landed in slots 20..25; the clock now sits in slot 26,
+	// so the 5-slot window covers 22..26 — four written slots.
+	if snap.Count != 4*50 {
+		t.Fatalf("count = %d, want 200 (only live slots)", snap.Count)
+	}
+	if q := snap.Quantile(0.99); q > 0.005 {
+		t.Fatalf("p99 after churn = %v, want ≤ 5ms (old slow mix must be gone)", q)
+	}
+	if snap.Max > 0.002+1e-12 {
+		t.Fatalf("max after churn = %v, want 0.002", snap.Max)
+	}
+}
+
+// TestWindowConcurrentHammer beats on one window from many goroutines
+// while a reader snapshots, under -race.
+func TestWindowConcurrentHammer(t *testing.T) {
+	// A wide window on the real clock: nothing rotates out mid-test even
+	// on a slow -race run, so the final count is exact.
+	w := NewWindow(time.Hour, time.Minute, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.Snapshot()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 5000; i++ {
+				w.Observe(float64(i%100) / 1000)
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := w.Snapshot().Count; got != 8*5000 {
+		t.Fatalf("count = %d, want 40000 (nothing rotated out in a fast test)", got)
+	}
+}

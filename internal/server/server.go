@@ -52,6 +52,15 @@ type Config struct {
 	// snapshot (and retires covered WAL segments) every N ingested
 	// batches (default 128). See DataDir.
 	SnapshotEvery int
+	// StageLogEvery samples the per-request stage log: every Nth
+	// successful resolve's stage breakdown is handed to StageLog
+	// (0 disables). The sampled path allocates one StageTimings; the
+	// unsampled path is allocation-free.
+	StageLogEvery int
+	// StageLog receives the sampled stage breakdowns (crhd wires it to a
+	// structured log record). Ignored while StageLogEvery is 0. See
+	// StageLogEvery.
+	StageLog func(StageTimings)
 }
 
 // Server is the crhd HTTP subsystem: registry + result cache + request
@@ -134,6 +143,8 @@ func New(cfg Config) (*Server, error) {
 		}
 		walMetrics.RecordRecovery(time.Since(t0))
 	}
+	s.stats.EnableStageLog(cfg.StageLogEvery, cfg.StageLog)
+	obs.RegisterRuntimeMetrics(metrics)
 	metrics.NewGaugeFunc("crhd_solver_workers", "size of the shared solver worker pool", func() float64 {
 		return float64(s.solverWorkers)
 	})
@@ -354,6 +365,11 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	defer func() { s.stats.resolveLatency.ObserveDuration(time.Since(t0)) }()
 	s.stats.resolves.Add(1)
+	// The span carries this request's stage timeline. Error paths just
+	// release it: stage histograms describe served results, so the
+	// smoke gate's "every stage non-empty" assertion stays meaningful.
+	sp := obs.StartSpan()
+	defer sp.Release()
 
 	e, ok := s.registry.Get(r.PathValue("name"))
 	if !ok {
@@ -373,6 +389,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sp.Mark(stageDecode)
 
 	// The snapshot pins the dataset version for the whole computation:
 	// concurrent ingest installs new snapshots but never mutates this one.
@@ -381,23 +398,40 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 
 	if resp, ok := s.cache.get(key); ok {
 		s.stats.cacheHits.Add(1)
+		sp.Mark(stageCache)
+		tEnc := time.Now()
 		writeJSON(w, http.StatusOK, resolveEnvelope{Cached: true, ResolveResponse: resp})
+		sp.Add(stageEncode, time.Since(tEnc))
+		s.stats.observeSpan(sp, e.name, true, false, time.Since(t0))
 		return
 	}
 	s.stats.cacheMisses.Add(1)
+	sp.Mark(stageCache)
 
+	tFlight := time.Now()
 	resp, err, shared := s.flights.do(key, func() (*ResolveResponse, error) {
+		// Leader only: everything between flight entry and solve start
+		// (flight bookkeeping, inflight registration, budget split) is
+		// queueing; the computation itself is the solve stage. A
+		// follower never runs this closure — its whole flight time is
+		// its coalesce wait, attributed below on its own span.
+		sp.Add(stageQueue, time.Since(tFlight))
 		// The worker budget is settled at compute start: the pool split
 		// by the computations then in flight. Later arrivals shrink only
 		// their own budgets (and totals are bounded by the pool anyway).
 		n := s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+		tSolve := time.Now()
 		resp, err := compute(e.name, snap, req, method, s.solverBudget(n), s.pool)
+		sp.Add(stageSolve, time.Since(tSolve))
 		if err == nil {
 			s.cache.add(key, resp)
 		}
 		return resp, err
 	})
+	if shared {
+		sp.Add(stageCoalesce, time.Since(tFlight))
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "resolve: %v", err)
 		return
@@ -407,7 +441,10 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.stats.coalesceLeaders.Add(1)
 	}
+	tEnc := time.Now()
 	writeJSON(w, http.StatusOK, resolveEnvelope{Coalesced: shared, ResolveResponse: resp})
+	sp.Add(stageEncode, time.Since(tEnc))
+	s.stats.observeSpan(sp, e.name, false, shared, time.Since(t0))
 }
 
 // compute runs the requested method on a pinned snapshot and shapes the

@@ -558,3 +558,118 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Logf("exposition:\n%s", body)
 	}
 }
+
+// TestResolveStageInstrumentation drives resolves through the HTTP
+// handler and checks the per-stage timeline lands in both the stats
+// document and the exposition: a miss exercises decode/cache/queue/
+// solve/encode, a hit exercises decode/cache/encode but never solve.
+func TestResolveStageInstrumentation(t *testing.T) {
+	_, ts := testServer(t)
+	mustCreate(t, ts.URL, "d", testTSV)
+	for i := 0; i < 3; i++ { // 1 miss + 2 hits
+		if code := doJSON(t, "POST", ts.URL+"/v1/datasets/d/resolve", strings.NewReader(`{}`), nil); code != 200 {
+			t.Fatalf("resolve %d failed", i)
+		}
+	}
+
+	var stats StatsSnapshot
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, &stats)
+	wantCounts := map[string]int64{
+		"decode": 3, "cache": 3, "encode": 3, // every request
+		"solve": 1, "queue": 1, // leader only
+		"coalesce": 0, // nothing raced
+	}
+	for name, want := range wantCounts {
+		st, ok := stats.Stages[name]
+		if !ok {
+			t.Fatalf("stage %q missing from /v1/stats", name)
+		}
+		if st.Count != want {
+			t.Errorf("stage %q count = %d, want %d", name, st.Count, want)
+		}
+	}
+	// Quantiles must be present on exercised stages, absent on coalesce.
+	if stats.Stages["solve"].P50Ms == nil {
+		t.Errorf("solve stage has no p50 after a computation")
+	}
+	if stats.Stages["coalesce"].P50Ms != nil {
+		t.Errorf("untouched coalesce stage reports quantiles")
+	}
+	var shareSum float64
+	for _, st := range stats.Stages {
+		shareSum += st.ShareOfTotal
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("stage shares sum to %v, want 1", shareSum)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`crhd_stage_seconds_count{stage="solve"} 1`,
+		`crhd_stage_seconds_count{stage="decode"} 3`,
+		`crhd_stage_seconds_count{stage="encode"} 3`,
+		"# TYPE crhd_stage_seconds histogram",
+		"crhd_cache_hit_ratio 0.6666666666666666",
+		"# TYPE go_goroutines gauge",
+		"go_heap_inuse_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+}
+
+// TestServerStageLog wires Config.StageLog end to end: with sampling
+// every request, each successful resolve emits one StageTimings record.
+func TestServerStageLog(t *testing.T) {
+	var mu sync.Mutex
+	var recs []StageTimings
+	s, err := New(Config{
+		StageLogEvery: 1,
+		StageLog: func(rec StageTimings) {
+			mu.Lock()
+			recs = append(recs, rec)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	mustCreate(t, ts.URL, "d", testTSV)
+	doJSON(t, "POST", ts.URL+"/v1/datasets/d/resolve", strings.NewReader(`{}`), nil)
+	doJSON(t, "POST", ts.URL+"/v1/datasets/d/resolve", strings.NewReader(`{}`), nil)
+	// A failed resolve must not log a stage record.
+	doJSON(t, "POST", ts.URL+"/v1/datasets/d/resolve", strings.NewReader(`{"method":"nope"}`), nil)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recs) != 2 {
+		t.Fatalf("stage log got %d records, want 2 (errors must not log)", len(recs))
+	}
+	if recs[0].Cached || !recs[1].Cached {
+		t.Errorf("cached flags = %v/%v, want false/true", recs[0].Cached, recs[1].Cached)
+	}
+	if recs[0].Dataset != "d" || recs[0].Total <= 0 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	if recs[0].Stages[stageSolve] <= 0 {
+		t.Errorf("miss record has no solve time: %v", recs[0].Stages)
+	}
+	if recs[1].Stages[stageSolve] != 0 {
+		t.Errorf("hit record has solve time: %v", recs[1].Stages)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/crhkit/crh/internal/obs"
@@ -13,11 +15,49 @@ import (
 // the JSON stats shape cannot drift if the obs default changes.
 var latencyBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
+// Stages of the resolve pipeline, in request order. Every successful
+// resolve carries an obs.Span whose per-stage durations feed the
+// crhd_stage_seconds{stage=...} histograms and the sampled stage log.
+// The stages overlap deliberately: a coalesced follower accrues
+// "coalesce" (its wait on the leader) while the leader accrues "queue"
+// and "solve" for the same computation, so stage sums attribute each
+// request's own wall time, not machine work.
+const (
+	stageDecode   obs.Stage = iota // path lookup, body decode, validation
+	stageCache                     // result-cache probe
+	stageCoalesce                  // follower's wait on an identical inflight leader
+	stageQueue                     // leader's delay between flight entry and solve start
+	stageSolve                     // the CRH/baseline computation itself
+	stageEncode                    // response shaping and JSON write
+	numStages
+)
+
+// NumStages is the number of resolve pipeline stages.
+const NumStages = int(numStages)
+
+// StageNames names the resolve stages, indexed like StageTimings.Stages.
+var StageNames = [NumStages]string{"decode", "cache", "coalesce", "queue", "solve", "encode"}
+
+// StageTimings is one sampled resolve request's stage breakdown, handed
+// to Config.StageLog. Stages not traversed by the request (coalesce on
+// a leader, solve on a cache hit) are zero.
+type StageTimings struct {
+	// Dataset names the resolved dataset.
+	Dataset string
+	// Cached and Coalesced mirror the response envelope's serving flags.
+	Cached    bool
+	Coalesced bool // see Cached
+	// Total is the request's end-to-end wall time; Stages its per-stage
+	// breakdown, indexed by the stage constants / StageNames.
+	Total  time.Duration
+	Stages [NumStages]time.Duration // see Total
+}
+
 // Stats aggregates the server's operational counters, registry-backed:
-// every counter and the latency histogram is an obs metric, so the same
-// numbers feed both GET /v1/stats (JSON) and GET /metrics (Prometheus
-// text exposition). All fields update atomically; Snapshot may be called
-// at any time.
+// every counter and histogram is an obs metric, so the same numbers feed
+// both GET /v1/stats (JSON) and GET /metrics (Prometheus text
+// exposition). All fields update atomically; Snapshot may be called at
+// any time.
 type Stats struct {
 	start time.Time
 
@@ -34,6 +74,14 @@ type Stats struct {
 	coalesceFollowers *obs.Counter
 
 	resolveLatency *obs.Histogram
+	stageHists     [numStages]*obs.Histogram
+
+	// stageEvery samples the per-request stage log (log every Nth
+	// resolve; 0 = off); stageSeq is the sampling counter and stageLog
+	// the sink. Set once via EnableStageLog before serving.
+	stageEvery int64
+	stageSeq   atomic.Int64
+	stageLog   func(StageTimings)
 }
 
 // NewStats registers the server's metrics on reg and returns the Stats
@@ -53,10 +101,51 @@ func NewStats(reg *obs.Registry) *Stats {
 		coalesceFollowers: reg.NewCounter(`crhd_coalesce_total{role="follower"}`, "resolve computations, by coalescing role"),
 		resolveLatency:    reg.NewHistogram("crhd_resolve_latency_seconds", "end-to-end resolve latency", latencyBounds),
 	}
+	for st := obs.Stage(0); st < numStages; st++ {
+		s.stageHists[st] = reg.NewHistogram(
+			`crhd_stage_seconds{stage="`+StageNames[st]+`"}`,
+			"per-request resolve latency by pipeline stage", latencyBounds)
+	}
 	reg.NewGaugeFunc("crhd_uptime_seconds", "seconds since the server started", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
+	reg.NewGaugeFunc("crhd_cache_hit_ratio", "resolve cache hits over lookups since start (NaN before the first lookup)", func() float64 {
+		h, m := float64(s.cacheHits.Value()), float64(s.cacheMisses.Value())
+		if h+m == 0 {
+			return math.NaN()
+		}
+		return h / (h + m)
+	})
 	return s
+}
+
+// EnableStageLog turns on the sampled per-request stage log: every
+// `every`-th successful resolve's StageTimings goes to fn. Call before
+// the server starts handling requests.
+func (s *Stats) EnableStageLog(every int, fn func(StageTimings)) {
+	if every > 0 && fn != nil {
+		s.stageEvery = int64(every)
+		s.stageLog = fn
+	}
+}
+
+// observeSpan folds one successful resolve's span into the stage
+// histograms (stages the request did not traverse are skipped, so each
+// stage's count is the number of requests that exercised it) and emits
+// a sampled stage log record.
+func (s *Stats) observeSpan(sp *obs.Span, dataset string, cached, coalesced bool, total time.Duration) {
+	for st := obs.Stage(0); st < numStages; st++ {
+		if d := sp.Stage(st); d > 0 {
+			s.stageHists[st].ObserveDuration(d)
+		}
+	}
+	if s.stageEvery > 0 && s.stageSeq.Add(1)%s.stageEvery == 0 {
+		rec := StageTimings{Dataset: dataset, Cached: cached, Coalesced: coalesced, Total: total}
+		for st := obs.Stage(0); st < numStages; st++ {
+			rec.Stages[st] = sp.Stage(st)
+		}
+		s.stageLog(rec)
+	}
 }
 
 // HistogramSnapshot is the JSON shape of a latency histogram:
@@ -72,10 +161,12 @@ type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	SumMs float64 `json:"sum_ms"` // see Count
 	// P50Ms, P95Ms, and P99Ms are latency quantiles estimated from the
-	// buckets by linear interpolation (0 while Count is 0).
-	P50Ms float64 `json:"p50_ms"`
-	P95Ms float64 `json:"p95_ms"` // see P50Ms
-	P99Ms float64 `json:"p99_ms"` // see P50Ms
+	// buckets by linear interpolation. They are omitted (null) while
+	// Count is 0 — an empty histogram has no quantiles, and reporting 0
+	// would be indistinguishable from a genuinely instant distribution.
+	P50Ms *float64 `json:"p50_ms,omitempty"`
+	P95Ms *float64 `json:"p95_ms,omitempty"` // see P50Ms
+	P99Ms *float64 `json:"p99_ms,omitempty"` // see P50Ms
 }
 
 // histogramJSON converts an obs histogram snapshot (seconds) to the
@@ -91,11 +182,37 @@ func histogramJSON(s obs.HistogramSnapshot) HistogramSnapshot {
 		out.BoundsMs[i] = b * 1e3
 	}
 	if s.Count > 0 {
-		out.P50Ms = s.Quantile(0.50) * 1e3
-		out.P95Ms = s.Quantile(0.95) * 1e3
-		out.P99Ms = s.Quantile(0.99) * 1e3
+		q := func(p float64) *float64 {
+			v := s.Quantile(p) * 1e3
+			return &v
+		}
+		out.P50Ms, out.P95Ms, out.P99Ms = q(0.50), q(0.95), q(0.99)
 	}
 	return out
+}
+
+// StageSnapshot is one pipeline stage's latency distribution in the
+// stats document, plus its share of the total stage time.
+type StageSnapshot struct {
+	HistogramSnapshot
+	// ShareOfTotal is this stage's summed latency divided by the summed
+	// latency of all stages — "where requests spend their time" as a
+	// fraction in [0,1] (0 while no stage has data).
+	ShareOfTotal float64 `json:"share_of_total"`
+}
+
+// RuntimeSnapshot is the Go process-health section of the stats
+// document, sampled via obs.ReadRuntimeHealth.
+type RuntimeSnapshot struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// HeapInuseBytes and HeapObjects describe the live heap.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	HeapObjects    uint64 `json:"heap_objects"` // see HeapInuseBytes
+	// GCCycles counts completed collections; GCPauseP99Ms is the p99
+	// stop-the-world pause over the runtime's recent-pause ring.
+	GCCycles     uint32  `json:"gc_cycles"`
+	GCPauseP99Ms float64 `json:"gc_pause_p99_ms"` // see GCCycles
 }
 
 // StatsSnapshot is the JSON document served by GET /v1/stats.
@@ -133,6 +250,13 @@ type StatsSnapshot struct {
 
 	// ResolveLatency is the end-to-end resolve latency distribution.
 	ResolveLatency HistogramSnapshot `json:"resolve_latency"`
+
+	// Stages breaks resolve latency down by pipeline stage, keyed by
+	// StageNames, each with its share of total stage time.
+	Stages map[string]StageSnapshot `json:"stages"`
+
+	// Runtime reports Go process health next to the request stats.
+	Runtime RuntimeSnapshot `json:"runtime"`
 }
 
 // Snapshot captures the current counters. cacheSize/cacheCap describe the
@@ -155,5 +279,32 @@ func (s *Stats) Snapshot(cacheSize, cacheCap int) StatsSnapshot {
 	out.Coalesce.Leaders = s.coalesceLeaders.Value()
 	out.Coalesce.Followers = s.coalesceFollowers.Value()
 	out.ResolveLatency = histogramJSON(s.resolveLatency.Snapshot())
+
+	snaps := make([]obs.HistogramSnapshot, numStages)
+	var totalSum float64
+	for st := obs.Stage(0); st < numStages; st++ {
+		snaps[st] = s.stageHists[st].Snapshot()
+		totalSum += snaps[st].Sum
+	}
+	out.Stages = make(map[string]StageSnapshot, numStages)
+	for st := obs.Stage(0); st < numStages; st++ {
+		share := 0.0
+		if totalSum > 0 {
+			share = snaps[st].Sum / totalSum
+		}
+		out.Stages[StageNames[st]] = StageSnapshot{
+			HistogramSnapshot: histogramJSON(snaps[st]),
+			ShareOfTotal:      share,
+		}
+	}
+
+	h := obs.ReadRuntimeHealth()
+	out.Runtime = RuntimeSnapshot{
+		Goroutines:     h.Goroutines,
+		HeapInuseBytes: h.HeapInuseBytes,
+		HeapObjects:    h.HeapObjects,
+		GCCycles:       h.GCCycles,
+		GCPauseP99Ms:   float64(h.GCPauseP99) / 1e6,
+	}
 	return out
 }

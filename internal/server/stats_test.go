@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -38,8 +39,35 @@ func TestLatencyHistogramJSONShape(t *testing.T) {
 	if snap.BoundsMs[0] < 0.099 || snap.BoundsMs[0] > 0.101 {
 		t.Errorf("first bound = %vms, want 0.1ms", snap.BoundsMs[0])
 	}
-	if snap.P50Ms <= 0 || snap.P99Ms < snap.P50Ms {
-		t.Errorf("quantiles p50=%v p99=%v", snap.P50Ms, snap.P99Ms)
+	if snap.P50Ms == nil || snap.P99Ms == nil {
+		t.Fatalf("quantiles omitted on a populated histogram: %+v", snap)
+	}
+	if *snap.P50Ms <= 0 || *snap.P99Ms < *snap.P50Ms {
+		t.Errorf("quantiles p50=%v p99=%v", *snap.P50Ms, *snap.P99Ms)
+	}
+}
+
+// TestEmptyHistogramOmitsQuantiles pins the fix for NaN quantiles: an
+// untouched histogram must omit p50/p95/p99 from the JSON entirely
+// rather than emit NaN (which is not valid JSON) or a misleading 0.
+func TestEmptyHistogramOmitsQuantiles(t *testing.T) {
+	s, _ := newTestStats()
+	snap := s.Snapshot(0, 0)
+	lat := snap.ResolveLatency
+	if lat.P50Ms != nil || lat.P95Ms != nil || lat.P99Ms != nil {
+		t.Fatalf("empty histogram carries quantiles: %+v", lat)
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("empty snapshot does not marshal: %v", err)
+	}
+	if strings.Contains(string(raw), "NaN") {
+		t.Fatalf("snapshot JSON contains NaN: %s", raw)
+	}
+	for _, q := range []string{`"p50_ms"`, `"p95_ms"`, `"p99_ms"`} {
+		if strings.Contains(string(raw), q) {
+			t.Errorf("empty snapshot JSON still has %q: %s", q, raw)
+		}
 	}
 }
 
@@ -94,6 +122,143 @@ func TestStatsExposition(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestObserveSpanStageHistograms folds spans into the stage histograms
+// and checks counts, shares, and the exposition names.
+func TestObserveSpanStageHistograms(t *testing.T) {
+	s, reg := newTestStats()
+	// A "cache hit" span: decode + cache + encode.
+	sp := obs.StartSpan()
+	sp.Add(stageDecode, 1*time.Millisecond)
+	sp.Add(stageCache, 1*time.Millisecond)
+	sp.Add(stageEncode, 2*time.Millisecond)
+	s.observeSpan(sp, "d", true, false, 4*time.Millisecond)
+	sp.Release()
+	// A "leader" span: decode + cache + queue + solve + encode.
+	sp = obs.StartSpan()
+	sp.Add(stageDecode, 1*time.Millisecond)
+	sp.Add(stageCache, 1*time.Millisecond)
+	sp.Add(stageQueue, 2*time.Millisecond)
+	sp.Add(stageSolve, 10*time.Millisecond)
+	sp.Add(stageEncode, 2*time.Millisecond)
+	s.observeSpan(sp, "d", false, false, 16*time.Millisecond)
+	sp.Release()
+
+	snap := s.Snapshot(0, 0)
+	wantCounts := map[string]int64{
+		"decode": 2, "cache": 2, "encode": 2,
+		"queue": 1, "solve": 1, "coalesce": 0,
+	}
+	var shareSum float64
+	for name, want := range wantCounts {
+		st, ok := snap.Stages[name]
+		if !ok {
+			t.Fatalf("stage %q missing from snapshot", name)
+		}
+		if st.Count != want {
+			t.Errorf("stage %q count = %d, want %d", name, st.Count, want)
+		}
+		shareSum += st.ShareOfTotal
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("stage shares sum to %v, want 1", shareSum)
+	}
+	// Solve dominates: 10ms of 20ms total stage time.
+	if got := snap.Stages["solve"].ShareOfTotal; got < 0.45 || got > 0.55 {
+		t.Errorf("solve share = %v, want ≈0.5", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`crhd_stage_seconds_count{stage="solve"} 1`,
+		`crhd_stage_seconds_count{stage="decode"} 2`,
+		`crhd_stage_seconds_count{stage="coalesce"} 0`,
+		"# TYPE crhd_stage_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStageLogSampling checks EnableStageLog fires on every Nth
+// successful resolve, with the sampled record's fields populated.
+func TestStageLogSampling(t *testing.T) {
+	s, _ := newTestStats()
+	var got []StageTimings
+	s.EnableStageLog(3, func(rec StageTimings) { got = append(got, rec) })
+	for i := 0; i < 10; i++ {
+		sp := obs.StartSpan()
+		sp.Add(stageDecode, time.Millisecond)
+		sp.Add(stageSolve, 5*time.Millisecond)
+		s.observeSpan(sp, "ds", false, false, 6*time.Millisecond)
+		sp.Release()
+	}
+	if len(got) != 3 { // resolves 3, 6, 9
+		t.Fatalf("sampled %d records over 10 resolves at every=3, want 3", len(got))
+	}
+	rec := got[0]
+	if rec.Dataset != "ds" || rec.Cached || rec.Coalesced {
+		t.Errorf("record header = %+v", rec)
+	}
+	if rec.Total != 6*time.Millisecond {
+		t.Errorf("total = %v, want 6ms", rec.Total)
+	}
+	if rec.Stages[stageSolve] != 5*time.Millisecond || rec.Stages[stageCoalesce] != 0 {
+		t.Errorf("stages = %v", rec.Stages)
+	}
+}
+
+// TestStageLogDisabled: without EnableStageLog, observeSpan must not
+// call a nil sink.
+func TestStageLogDisabled(t *testing.T) {
+	s, _ := newTestStats()
+	sp := obs.StartSpan()
+	sp.Add(stageDecode, time.Millisecond)
+	s.observeSpan(sp, "ds", false, false, time.Millisecond) // must not panic
+	sp.Release()
+}
+
+// TestCacheHitRatioGauge checks the derived gauge: absent lookups it
+// exposes NaN, afterwards hits/lookups.
+func TestCacheHitRatioGauge(t *testing.T) {
+	s, reg := newTestStats()
+	expo := func() string {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if out := expo(); !strings.Contains(out, "crhd_cache_hit_ratio NaN") {
+		t.Errorf("pre-lookup exposition missing NaN ratio:\n%s", out)
+	}
+	s.cacheHits.Add(3)
+	s.cacheMisses.Add(1)
+	if out := expo(); !strings.Contains(out, "crhd_cache_hit_ratio 0.75") {
+		t.Errorf("exposition missing ratio 0.75:\n%s", out)
+	}
+}
+
+// TestSnapshotRuntimeSection checks the stats document carries live
+// process health.
+func TestSnapshotRuntimeSection(t *testing.T) {
+	s, _ := newTestStats()
+	rt := s.Snapshot(0, 0).Runtime
+	if rt.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want ≥ 1", rt.Goroutines)
+	}
+	if rt.HeapInuseBytes == 0 {
+		t.Errorf("heap_inuse_bytes = 0")
+	}
+	if rt.GCPauseP99Ms < 0 {
+		t.Errorf("gc_pause_p99_ms negative: %v", rt.GCPauseP99Ms)
 	}
 }
 

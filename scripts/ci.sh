@@ -17,11 +17,14 @@
 #   6. make fuzz       a short coverage-guided fuzz pass over the decoder,
 #                      the solver, and the WAL record codec (the committed
 #                      corpora already ran as plain tests inside make check)
-#   7. lint self-check every analyzer crhlint -list reports must have a
+#   7. make loadcheck  boot a real crhd and drive a seeded crhload smoke
+#                      against it: zero request errors and populated
+#                      per-stage latency histograms (docs/LOAD.md)
+#   8. lint self-check every analyzer crhlint -list reports must have a
 #                      golden testdata package, and the full -json report
 #                      (suppressed findings included) is archived under
 #                      results/lint-report.json as the audit record
-#   8. gofmt -l        fails if any tracked Go file is unformatted
+#   9. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -46,6 +49,9 @@ make walcheck
 
 echo "==> fuzz (short)"
 make fuzz FUZZTIME=5s
+
+echo "==> loadcheck (serve-path smoke)"
+make loadcheck
 
 echo "==> lint self-check (golden coverage + json report)"
 missing=""

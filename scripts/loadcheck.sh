@@ -1,0 +1,45 @@
+#!/bin/sh
+# loadcheck.sh — boot a real crhd and drive a short seeded crhload
+# smoke against it. The gate (crhload -check) fails unless the run had
+# zero request errors and the server's /v1/stats shows the resolve
+# pipeline's stage histograms populated — i.e. the per-request span
+# instrumentation actually measured the pipeline end to end.
+#
+# Exits non-zero on any failure; the crhd subprocess is always reaped.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go build -o bin/crhd ./cmd/crhd
+go build -o bin/crhload ./cmd/crhload
+
+log=$(mktemp)
+./bin/crhd -addr 127.0.0.1:0 -stage-log 64 >"$log" 2>&1 &
+crhd_pid=$!
+trap 'kill "$crhd_pid" 2>/dev/null; wait "$crhd_pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+# The server prints "crhd: listening on <addr>" once the listener is up.
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^crhd: listening on //p' "$log")
+	if [ -n "$addr" ]; then
+		break
+	fi
+	if ! kill -0 "$crhd_pid" 2>/dev/null; then
+		echo "loadcheck: crhd exited before becoming ready:" >&2
+		cat "$log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "loadcheck: crhd never reported its address:" >&2
+	cat "$log" >&2
+	exit 1
+fi
+
+echo "loadcheck: crhd ready on $addr"
+./bin/crhload -addr "http://$addr" -profile smoke -seed 7 -check
+
+echo "loadcheck: passed"
