@@ -229,6 +229,14 @@ func writeSeries(b *strings.Builder, s *series) {
 		} else {
 			v = s.gauge.Value()
 		}
+		// A NaN gauge means "no value yet" (a ratio before its first
+		// lookup, an age before its first event). NaN breaks strict
+		// exposition parsers and JSON consumers, so the sample is omitted
+		// until there is a value — the same rule that omits quantiles of
+		// an empty histogram.
+		if math.IsNaN(v) {
+			return
+		}
 		b.WriteString(sampleName(s.family, s.labels, ""))
 		b.WriteByte(' ')
 		b.WriteString(formatFloat(v))

@@ -153,6 +153,31 @@ func TestExpositionGolden(t *testing.T) {
 	}
 }
 
+// TestGaugeNaNOmitted pins the no-value rule: a NaN gauge (a ratio
+// before its first lookup, an age before its first event) contributes
+// its HELP/TYPE headers but no sample line — NaN in the exposition
+// breaks strict scrapers. Mirrors the empty-histogram quantile omission.
+func TestGaugeNaNOmitted(t *testing.T) {
+	r := NewRegistry()
+	v := math.NaN()
+	r.NewGaugeFunc("ratio", "no value until set", func() float64 { return v })
+	expo := func() string {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	want := "# HELP ratio no value until set\n# TYPE ratio gauge\n"
+	if got := expo(); got != want {
+		t.Errorf("NaN gauge exposition = %q, want headers only %q", got, want)
+	}
+	v = 0.5
+	if got := expo(); got != want+"ratio 0.5\n" {
+		t.Errorf("exposition after value = %q", got)
+	}
+}
+
 // TestConcurrentHammer exercises counters, gauges, and histograms from
 // many goroutines under -race, with concurrent exposition reads.
 func TestConcurrentHammer(t *testing.T) {

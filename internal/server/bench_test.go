@@ -119,6 +119,46 @@ func BenchmarkConcurrentResolveUncoalesced(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeResolveBody measures the once-per-computation body
+// encode (pooled append encoder) against BenchmarkEncodeStdlib, the
+// reflection-based encoding/json path it replaced.
+func BenchmarkEncodeResolveBody(b *testing.B) {
+	resp := benchResponse(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = encodeResolveBody(resp)
+	}
+}
+
+func BenchmarkEncodeStdlib(b *testing.B) {
+	resp := benchResponse(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stdlibJSON(resolveEnvelope{ResolveResponse: resp}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchResponse computes one real response over the bench dataset.
+func benchResponse(b *testing.B) *ResolveResponse {
+	b.Helper()
+	s := benchServer(b)
+	e, _ := s.registry.Get("bench")
+	req := &ResolveRequest{}
+	req.normalize()
+	resp, err := compute("bench", e.Snapshot(), req, nil, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return resp
+}
+
 // BenchmarkIngest measures the live-ingest path: validate, append to the
 // log, rebuild the snapshot, and advance the warm I-CRH state.
 func BenchmarkIngest(b *testing.B) {

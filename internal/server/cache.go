@@ -5,9 +5,20 @@ import (
 	"sync"
 )
 
-// resultCache is a fixed-capacity LRU cache for resolve responses, keyed
+// cachedResult is what one computation leaves behind: the immutable
+// response and its pre-encoded body bytes (`"dataset":...}` — everything
+// after the per-request envelope prefix; see encode.go). Caching the
+// bytes next to the response is what lets cache hits and coalesced
+// followers skip the encode stage entirely.
+type cachedResult struct {
+	// resp is the shared immutable response; body its encoded fields.
+	resp *ResolveResponse
+	body []byte // see resp
+}
+
+// resultCache is a fixed-capacity LRU cache for resolve results, keyed
 // by (dataset uid, dataset version, method, options hash). Values are
-// immutable once inserted, so a cached *ResolveResponse may be served to
+// immutable once inserted, so a cached *cachedResult may be served to
 // any number of concurrent readers.
 //
 // Stale entries need no explicit invalidation: ingest bumps the dataset
@@ -22,7 +33,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	val *ResolveResponse
+	val *cachedResult
 }
 
 // newResultCache returns an LRU cache holding up to capacity responses.
@@ -38,8 +49,8 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached response for key, marking it most recently used.
-func (c *resultCache) get(key string) (*ResolveResponse, bool) {
+// get returns the cached result for key, marking it most recently used.
+func (c *resultCache) get(key string) (*cachedResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -50,9 +61,9 @@ func (c *resultCache) get(key string) (*ResolveResponse, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
-// add inserts (or refreshes) a response, evicting the least recently used
+// add inserts (or refreshes) a result, evicting the least recently used
 // entry when over capacity.
-func (c *resultCache) add(key string, val *ResolveResponse) {
+func (c *resultCache) add(key string, val *cachedResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
@@ -68,7 +79,7 @@ func (c *resultCache) add(key string, val *ResolveResponse) {
 	}
 }
 
-// len returns the number of cached responses.
+// len returns the number of cached results.
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -8,7 +8,9 @@ import (
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newResultCache(2)
-	a, b, d := &ResolveResponse{Dataset: "a"}, &ResolveResponse{Dataset: "b"}, &ResolveResponse{Dataset: "d"}
+	a := &cachedResult{resp: &ResolveResponse{Dataset: "a"}}
+	b := &cachedResult{resp: &ResolveResponse{Dataset: "b"}}
+	d := &cachedResult{resp: &ResolveResponse{Dataset: "d"}}
 	c.add("a", a)
 	c.add("b", b)
 	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
@@ -31,7 +33,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheRefreshExistingKey(t *testing.T) {
 	c := newResultCache(2)
-	v1, v2 := &ResolveResponse{Version: 1}, &ResolveResponse{Version: 2}
+	v1 := &cachedResult{resp: &ResolveResponse{Version: 1}}
+	v2 := &cachedResult{resp: &ResolveResponse{Version: 2}}
 	c.add("k", v1)
 	c.add("k", v2)
 	if c.len() != 1 {
@@ -47,8 +50,8 @@ func TestCacheCapacityFloor(t *testing.T) {
 	if c.capacity() != 1 {
 		t.Fatalf("capacity = %d, want 1", c.capacity())
 	}
-	c.add("a", &ResolveResponse{})
-	c.add("b", &ResolveResponse{})
+	c.add("a", &cachedResult{})
+	c.add("b", &cachedResult{})
 	if c.len() != 1 {
 		t.Fatalf("len = %d, want 1", c.len())
 	}
@@ -66,9 +69,9 @@ func TestCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (g+i)%32)
 				if i%3 == 0 {
-					c.add(key, &ResolveResponse{Dataset: key})
-				} else if v, ok := c.get(key); ok && v.Dataset != key {
-					t.Errorf("key %s returned value for %s", key, v.Dataset)
+					c.add(key, &cachedResult{resp: &ResolveResponse{Dataset: key}})
+				} else if v, ok := c.get(key); ok && v.resp.Dataset != key {
+					t.Errorf("key %s returned value for %s", key, v.resp.Dataset)
 				}
 			}
 		}(g)

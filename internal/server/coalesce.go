@@ -18,7 +18,7 @@ type flightGroup struct {
 
 type flightCall struct {
 	done chan struct{}
-	val  *ResolveResponse
+	val  *cachedResult
 	err  error
 }
 
@@ -31,9 +31,10 @@ func newFlightGroup() *flightGroup {
 // whether the caller was a follower (received another call's result).
 //
 // The result a follower receives was computed by the leader; both the
-// leader and every follower see the same *ResolveResponse, which is
-// immutable by convention.
-func (g *flightGroup) do(key string, fn func() (*ResolveResponse, error)) (val *ResolveResponse, err error, shared bool) {
+// leader and every follower see the same *cachedResult — response and
+// encoded body bytes — which is immutable by convention, so followers
+// serve the leader's bytes without re-encoding.
+func (g *flightGroup) do(key string, fn func() (*cachedResult, error)) (val *cachedResult, err error, shared bool) {
 	g.mu.Lock()
 	if c, ok := g.flight[key]; ok {
 		g.mu.Unlock()

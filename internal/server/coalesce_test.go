@@ -16,7 +16,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	var executions atomic.Int64
 	leaderIn := make(chan struct{})  // closed when the leader is inside fn
 	leaderOut := make(chan struct{}) // closed to release the leader
-	want := &ResolveResponse{Dataset: "d", Version: 1}
+	want := &cachedResult{resp: &ResolveResponse{Dataset: "d", Version: 1}}
 
 	// Hold the leader until every follower is provably blocked on it, so
 	// the single-execution assertion is deterministic.
@@ -25,13 +25,13 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	g.onWait = waiting.Done
 
 	var wg sync.WaitGroup
-	results := make([]*ResolveResponse, followers)
+	results := make([]*cachedResult, followers)
 	shareds := make([]bool, followers)
 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		v, err, shared := g.do("k", func() (*ResolveResponse, error) {
+		v, err, shared := g.do("k", func() (*cachedResult, error) {
 			executions.Add(1)
 			close(leaderIn)
 			<-leaderOut
@@ -50,9 +50,9 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, shared := g.do("k", func() (*ResolveResponse, error) {
+			v, err, shared := g.do("k", func() (*cachedResult, error) {
 				executions.Add(1)
-				return &ResolveResponse{}, nil
+				return &cachedResult{}, nil
 			})
 			if err != nil {
 				t.Errorf("follower %d: %v", i, err)
@@ -86,9 +86,9 @@ func TestFlightGroupDistinctKeys(t *testing.T) {
 		wg.Add(1)
 		go func(key string) {
 			defer wg.Done()
-			_, _, shared := g.do(key, func() (*ResolveResponse, error) {
+			_, _, shared := g.do(key, func() (*cachedResult, error) {
 				executions.Add(1)
-				return &ResolveResponse{Dataset: key}, nil
+				return &cachedResult{resp: &ResolveResponse{Dataset: key}}, nil
 			})
 			if shared {
 				t.Errorf("key %s unexpectedly shared", key)
@@ -107,9 +107,9 @@ func TestFlightGroupSequentialReexecutes(t *testing.T) {
 	g := newFlightGroup()
 	var executions atomic.Int64
 	for i := 0; i < 3; i++ {
-		_, _, shared := g.do("k", func() (*ResolveResponse, error) {
+		_, _, shared := g.do("k", func() (*cachedResult, error) {
 			executions.Add(1)
-			return &ResolveResponse{}, nil
+			return &cachedResult{}, nil
 		})
 		if shared {
 			t.Fatalf("call %d: sequential call marked shared", i)

@@ -170,6 +170,7 @@ func (r *Registry) recoverDataset(name string) (*entry, error) {
 		e.warmSources = append([]string(nil), e.sources...)
 		e.chunks = snap.Chunks
 	}
+	e.warmVersion = snap.Version // not yet published; no lock needed
 	e.snap.Store(e.rebuild(snap.Version))
 
 	for _, b := range batches {

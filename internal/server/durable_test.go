@@ -174,8 +174,8 @@ func TestDurableRecoveryMatchesUncrashed(t *testing.T) {
 	ingestN(t, eRef, 5)
 	ingestN(t, eRef, 4)
 
-	_, w2, c2 := e2.WarmState()
-	_, wRef, cRef := eRef.WarmState()
+	_, _, w2, c2 := e2.WarmState()
+	_, _, wRef, cRef := eRef.WarmState()
 	if c2 != cRef {
 		t.Fatalf("chunks %d vs %d", c2, cRef)
 	}

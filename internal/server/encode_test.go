@@ -1,0 +1,273 @@
+package server
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// stdlibEncode renders v exactly as the server's old writeJSON did —
+// encoding/json with HTML escaping off — minus the trailing newline.
+// Every byte-equality assertion in this file compares the fast encoder
+// against this reference.
+func stdlibEncode(t testing.TB, v any) []byte {
+	t.Helper()
+	b, err := stdlibJSON(v)
+	if err != nil {
+		t.Fatalf("stdlib encode: %v", err)
+	}
+	return b
+}
+
+func fptr(f float64) *float64 { return &f }
+func bptr(b bool) *bool       { return &b }
+
+// goldenResponses covers the response shapes the encoder must replicate:
+// value kinds, optional fields present and absent, hostile strings, and
+// floats that cross encoding/json's fixed/exponent formatting boundary.
+func goldenResponses() map[string]*ResolveResponse {
+	return map[string]*ResolveResponse{
+		"empty": {},
+		"truths-null": {
+			Dataset: "d", Version: 1, Method: "crh", Truths: nil,
+		},
+		"truths-empty": {
+			Dataset: "d", Version: 1, Method: "crh", Truths: []TruthJSON{},
+		},
+		"mixed-values": {
+			Dataset: "weather", Version: 7, Method: "crh",
+			Truths: []TruthJSON{
+				{Object: "o1", Property: "temp", Value: TruthValue{F: 12.5}},
+				{Object: "o1", Property: "cond", Value: TruthValue{IsCat: true, Cat: "sunny"}},
+				{Object: "o2", Property: "temp", Value: TruthValue{F: -0.125}},
+			},
+			Weights:    SourceWeights{{Name: "s1", Weight: 0.75}, {Name: "s2", Weight: 0.25}},
+			Converged:  bptr(true),
+			Iterations: 4,
+		},
+		"confidence-and-not-converged": {
+			Dataset: "d", Version: 2, Method: "crh",
+			Truths: []TruthJSON{
+				{Object: "o", Property: "p", Value: TruthValue{F: 1}, Confidence: fptr(0.875)},
+				{Object: "o", Property: "q", Value: TruthValue{IsCat: true, Cat: "x"}, Confidence: fptr(0)},
+			},
+			Converged:  bptr(false),
+			Iterations: 20,
+		},
+		"baseline-no-weights": {
+			Dataset: "d", Version: 3, Method: "Median",
+			Truths: []TruthJSON{{Object: "o", Property: "p", Value: TruthValue{F: 3}}},
+		},
+		"hostile-strings": {
+			Dataset: "quo\"te\\back\tslash\nnew", Version: 1, Method: "crh",
+			Truths: []TruthJSON{
+				{Object: "ctrl\x01\x1f", Property: "html<&>ok", Value: TruthValue{IsCat: true, Cat: "\u2028line\u2029sep"}},
+				{Object: "bad\xffutf8", Property: "uni\u00e9\u4e16", Value: TruthValue{IsCat: true, Cat: "\bback\fform\rret"}},
+			},
+			Weights: SourceWeights{{Name: "s\"1", Weight: 1}},
+		},
+		"float-formats": {
+			Dataset: "f", Version: 1, Method: "crh",
+			Truths: []TruthJSON{
+				{Object: "o", Property: "zero", Value: TruthValue{F: 0}},
+				{Object: "o", Property: "negzero", Value: TruthValue{F: math.Copysign(0, -1)}},
+				{Object: "o", Property: "tiny", Value: TruthValue{F: 1e-7}},
+				{Object: "o", Property: "edge-lo", Value: TruthValue{F: 1e-6}},
+				{Object: "o", Property: "edge-hi", Value: TruthValue{F: 1e21}},
+				{Object: "o", Property: "below-hi", Value: TruthValue{F: 9.999999999999999e20}},
+				{Object: "o", Property: "huge", Value: TruthValue{F: math.MaxFloat64}},
+				{Object: "o", Property: "denorm", Value: TruthValue{F: 5e-324}},
+				{Object: "o", Property: "third", Value: TruthValue{F: 1.0 / 3.0}},
+				{Object: "o", Property: "neg-exp", Value: TruthValue{F: -2.5e-9}},
+			},
+			Weights: SourceWeights{{Name: "s", Weight: 1e-10}},
+		},
+	}
+}
+
+// TestEncodeGolden pins the contract: the append encoder's bytes equal
+// encoding/json's for every golden response, standalone and wrapped in
+// each of the three envelope variants.
+func TestEncodeGolden(t *testing.T) {
+	for name, resp := range goldenResponses() {
+		t.Run(name, func(t *testing.T) {
+			want := string(stdlibEncode(t, resp))
+			got := string(appendResolveResponse(nil, resp))
+			if got != want {
+				t.Errorf("standalone:\n got %s\nwant %s", got, want)
+			}
+
+			body := encodeResolveBody(resp)
+			for _, env := range []struct {
+				prefix            string
+				cached, coalesced bool
+			}{
+				{envPrefixPlain, false, false},
+				{envPrefixCached, true, false},
+				{envPrefixCoalesced, false, true},
+			} {
+				want := string(stdlibEncode(t, resolveEnvelope{
+					Cached: env.cached, Coalesced: env.coalesced, ResolveResponse: resp,
+				}))
+				if got := env.prefix + string(body); got != want {
+					t.Errorf("envelope cached=%v coalesced=%v:\n got %s\nwant %s",
+						env.cached, env.coalesced, got, want)
+				}
+			}
+		})
+	}
+}
+
+// fuzzResponse deterministically shapes a ResolveResponse from raw fuzz
+// inputs. Non-finite floats are rejected by the caller (encoding/json
+// errors on them, and the serve pipeline never produces them).
+func fuzzResponse(dataset, method, obj, prop, cat, w1, w2 string, f, conf, wa, wb float64, flags uint8) *ResolveResponse {
+	resp := &ResolveResponse{Dataset: dataset, Version: int64(flags), Method: method}
+	if flags&1 != 0 {
+		resp.Truths = []TruthJSON{}
+		t1 := TruthJSON{Object: obj, Property: prop, Value: TruthValue{F: f}}
+		t2 := TruthJSON{Object: obj + "2", Property: prop, Value: TruthValue{IsCat: true, Cat: cat}}
+		if flags&2 != 0 {
+			t1.Confidence = fptr(conf)
+			t2.Confidence = fptr(0)
+		}
+		resp.Truths = append(resp.Truths, t1, t2)
+	}
+	if flags&4 != 0 {
+		ws := SourceWeights{{Name: w1, Weight: wa}}
+		if w2 != w1 {
+			ws = append(ws, SourceWeight{Name: w2, Weight: wb})
+		}
+		// The canonical in-memory order is name-sorted (options.go); the
+		// differential is only meaningful over canonical responses.
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+		resp.Weights = ws
+	}
+	if flags&8 != 0 {
+		resp.Converged = bptr(flags&16 != 0)
+	}
+	resp.Iterations = int(flags >> 5)
+	return resp
+}
+
+// FuzzEncodeResolveResponse is the differential: for arbitrary response
+// shapes the append encoder must agree with encoding/json byte for byte,
+// standalone and through the envelope serve path.
+func FuzzEncodeResolveResponse(f *testing.F) {
+	f.Add("d", "crh", "o", "p", "sunny", "s1", "s2", 12.5, 0.8, 0.6, 0.4, uint8(0xff))
+	f.Add("", "", "", "", "", "", "", 0.0, 0.0, 0.0, 0.0, uint8(0))
+	f.Add("q\"uo", "m\\e", "c\x01trl", "uni\u00e9", "li\u2028ne", "bad\xffutf", "html<&>", 1e-7, -0.0, 1e21, 5e-324, uint8(7))
+	f.Add("a", "b", "c", "d", "e", "dup", "dup", 1.0/3.0, 1e300, -2.5e-9, math.MaxFloat64, uint8(0x55))
+	f.Fuzz(func(t *testing.T, dataset, method, obj, prop, cat, w1, w2 string, fv, conf, wa, wb float64, flags uint8) {
+		for _, v := range []float64{fv, conf, wa, wb} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite floats never reach the encoder")
+			}
+		}
+		resp := fuzzResponse(dataset, method, obj, prop, cat, w1, w2, fv, conf, wa, wb, flags)
+
+		want := string(stdlibEncode(t, resp))
+		got := string(appendResolveResponse(nil, resp))
+		if got != want {
+			t.Fatalf("standalone mismatch:\n got %s\nwant %s", got, want)
+		}
+
+		wantEnv := string(stdlibEncode(t, resolveEnvelope{Cached: true, ResolveResponse: resp}))
+		gotEnv := envPrefixCached + string(encodeResolveBody(resp))
+		if gotEnv != wantEnv {
+			t.Fatalf("envelope mismatch:\n got %s\nwant %s", gotEnv, wantEnv)
+		}
+	})
+}
+
+// nopResponseWriter is the allocation test's sink: header pre-allocated,
+// writes discarded, WriteString supported (like net/http's writer).
+type nopResponseWriter struct{ h http.Header }
+
+func (w nopResponseWriter) Header() http.Header { return w.h }
+
+func (nopResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func (nopResponseWriter) WriteString(s string) (int, error) { return len(s), nil }
+
+func (nopResponseWriter) WriteHeader(int) {}
+
+// TestEncodeAllocs pins the allocation behavior of the encode and serve
+// paths; ci.sh runs it as the encode-allocation regression stage. The
+// pins are ceilings — if a change pushes a count above one, the hot path
+// regressed.
+func TestEncodeAllocs(t *testing.T) {
+	resp := goldenResponses()["mixed-values"]
+
+	// Appending into a pre-sized buffer must not allocate at all.
+	buf := make([]byte, 0, 4096)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = appendResolveFields(buf[:0], resp)
+	}); avg != 0 {
+		t.Errorf("appendResolveFields: %v allocs/op, want 0", avg)
+	}
+
+	// The pooled body encode retains exactly one allocation: the cached
+	// copy itself.
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = encodeResolveBody(resp)
+	}); avg > 1 {
+		t.Errorf("encodeResolveBody: %v allocs/op, want ≤ 1", avg)
+	}
+
+	// The cache-hit serve path — stamping a prefix in front of cached
+	// bytes — stays under four allocations: two header values
+	// (Content-Type is amortized by Set, Content-Length changes per
+	// response) plus the Content-Length digits from strconv.Itoa.
+	body := encodeResolveBody(resp)
+	w := nopResponseWriter{h: make(http.Header, 4)}
+	if avg := testing.AllocsPerRun(200, func() {
+		writeResolveEnvelope(w, envPrefixCached, body)
+	}); avg > 4 {
+		t.Errorf("writeResolveEnvelope: %v allocs/op, want ≤ 4", avg)
+	}
+}
+
+// TestServeCachedBytes checks the serve path end to end: a cache hit's
+// body must be byte-identical to the miss's except for the envelope
+// flags, proving hits serve the precomputed bytes, not a re-encode.
+func TestServeCachedBytes(t *testing.T) {
+	_, ts := testServer(t)
+	mustCreate(t, ts.URL, "d", testTSV)
+
+	read := func() string {
+		resp, err := http.Post(ts.URL+"/v1/datasets/d/resolve", "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("resolve: %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	miss, hit := read(), read()
+	if !strings.HasPrefix(miss, envPrefixPlain) {
+		t.Fatalf("miss body prefix: %q", miss[:40])
+	}
+	if !strings.HasPrefix(hit, envPrefixCached) {
+		t.Fatalf("hit body prefix: %q", hit[:40])
+	}
+	if !strings.HasSuffix(miss, "\n") || !strings.HasSuffix(hit, "\n") {
+		t.Fatal("responses must keep the Encoder trailing newline")
+	}
+	if miss[len(envPrefixPlain):] != hit[len(envPrefixCached):] {
+		t.Fatalf("hit served different bytes than miss:\nmiss %s\nhit  %s", miss, hit)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -140,6 +142,59 @@ func cacheKey(uid, version int64, req *ResolveRequest) string {
 		uid, version, o.ContinuousLoss, o.CategoricalLoss, o.Weights, o.TopJ, o.MaxIters, o.Confidence)
 }
 
+// TruthValue is the resolved value of one entry: a float64 for
+// continuous properties or a string for categorical ones. Holding both
+// representations in concrete fields (instead of a single `any`) keeps
+// the resolve hot path free of interface boxing; on the wire the value
+// is still a bare JSON number or string, via MarshalJSON.
+type TruthValue struct {
+	// IsCat selects the representation: Cat when true, F otherwise.
+	IsCat bool
+	// F is the continuous value (valid when !IsCat).
+	F float64
+	// Cat is the categorical value (valid when IsCat).
+	Cat string
+}
+
+// MarshalJSON renders the value as a bare JSON number or string. It goes
+// through encoding/json deliberately: this slow path is the reference
+// the fuzz differential in encode_test.go holds the append-based fast
+// encoder against, so it must not share that encoder's code.
+func (v TruthValue) MarshalJSON() ([]byte, error) {
+	if v.IsCat {
+		return stdlibJSON(v.Cat)
+	}
+	return stdlibJSON(v.F)
+}
+
+// UnmarshalJSON accepts a JSON number (continuous) or string
+// (categorical) — the same shapes ingest accepts for observations.
+func (v *TruthValue) UnmarshalJSON(b []byte) error {
+	var f float64
+	if err := json.Unmarshal(b, &f); err == nil {
+		*v = TruthValue{F: f}
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		*v = TruthValue{IsCat: true, Cat: s}
+		return nil
+	}
+	return fmt.Errorf("truth value must be a JSON number or string")
+}
+
+// stdlibJSON marshals v with encoding/json under the server's encoder
+// settings (HTML escaping off), without the Encoder's trailing newline.
+func stdlibJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
+}
+
 // TruthJSON is one resolved entry in a response.
 type TruthJSON struct {
 	// Object and Property name the entry the value resolves.
@@ -147,9 +202,65 @@ type TruthJSON struct {
 	Property string `json:"property"` // see Object
 	// Value is a float64 for continuous properties, a string for
 	// categorical ones.
-	Value any `json:"value"`
+	Value TruthValue `json:"value"`
 	// Confidence is present when the request asked for it (CRH only).
 	Confidence *float64 `json:"confidence,omitempty"`
+}
+
+// SourceWeight pairs one source name with its estimated reliability
+// weight.
+type SourceWeight struct {
+	// Name is the source; Weight its reliability estimate.
+	Name   string
+	Weight float64 // see Name
+}
+
+// SourceWeights is a name-sorted list of per-source weights. On the wire
+// it is a JSON object keyed by source name — the shape the endpoint has
+// always served — but in memory it is a flat slice, so building a
+// response allocates no intermediate map. The list must be kept sorted
+// by Name: encoding/json emits map keys sorted, and the fast encoder
+// emits the slice in order, so sortedness is what keeps the two
+// byte-identical.
+type SourceWeights []SourceWeight
+
+// MarshalJSON renders the weights as a JSON object via encoding/json
+// (the reference path for the fuzz differential; see TruthValue).
+func (ws SourceWeights) MarshalJSON() ([]byte, error) {
+	m := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		m[w.Name] = w.Weight
+	}
+	return stdlibJSON(m)
+}
+
+// UnmarshalJSON decodes the JSON-object shape back into the canonical
+// name-sorted slice.
+func (ws *SourceWeights) UnmarshalJSON(b []byte) error {
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	out := make(SourceWeights, 0, len(m))
+	for name, w := range m {
+		out = append(out, SourceWeight{Name: name, Weight: w})
+	}
+	// The map range above has no order; sorting restores the canonical
+	// order before anyone reads the slice.
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	*ws = out
+	return nil
+}
+
+// Get returns the weight recorded for the named source (0 when absent,
+// matching the old map lookup).
+func (ws SourceWeights) Get(name string) float64 {
+	for _, w := range ws {
+		if w.Name == name {
+			return w.Weight
+		}
+	}
+	return 0
 }
 
 // ResolveResponse is the shared, immutable result of one computation. The
@@ -164,9 +275,9 @@ type ResolveResponse struct {
 	Method  string `json:"method"`  // see Dataset
 	// Truths lists every resolved entry, ordered by object then property.
 	Truths []TruthJSON `json:"truths"`
-	// Weights maps source name to reliability weight; omitted for
-	// baselines that estimate none.
-	Weights map[string]float64 `json:"weights,omitempty"`
+	// Weights lists per-source reliability weights, name-sorted; omitted
+	// for baselines that estimate none.
+	Weights SourceWeights `json:"weights,omitempty"`
 	// Converged and Iterations report solver diagnostics (CRH only).
 	Converged  *bool `json:"converged,omitempty"`
 	Iterations int   `json:"iterations,omitempty"` // see Converged

@@ -105,6 +105,12 @@ type entry struct {
 	warmSources []string
 	// crh:guardedby warmMu
 	chunks int
+	// warmVersion is the snapshot version the warm state corresponds to,
+	// recorded in the same critical section that installs the state so
+	// WarmState can return both atomically (always chunks+1 in steady
+	// state: version 1 at create, +1 per ingested chunk).
+	// crh:guardedby warmMu
+	warmVersion int64
 }
 
 type warmKey struct{ obj, prop string }
@@ -151,6 +157,9 @@ var (
 	// errDurable wraps WAL/snapshot failures: the request was valid but
 	// could not be made durable, so it was not applied.
 	errDurable = fmt.Errorf("durable commit failed")
+	// errInternal marks a broken server-side invariant (a method returning
+	// malformed results); the request was fine, the server is not.
+	errInternal = fmt.Errorf("internal error")
 )
 
 // Create registers a new dataset under name, loading its initial contents
@@ -182,6 +191,7 @@ func (r *Registry) Create(name string, src io.Reader) (*entry, error) {
 	}
 	e.absorb(d, gt)
 	e.snap.Store(e.rebuild(1))
+	e.warmVersion = 1 // not yet published; no lock needed
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -453,6 +463,10 @@ func (e *entry) apply(recs []obsRec, version int64) {
 	e.warmWeights = weights
 	e.warmSources = append([]string(nil), e.sources...)
 	e.chunks++
+	// Recorded inside the same critical section as the truths/weights it
+	// describes, so a WarmState reader can never pair this batch's
+	// version with an earlier batch's state (or vice versa).
+	e.warmVersion = version
 	e.warmMu.Unlock()
 }
 
@@ -492,17 +506,20 @@ func (e *entry) buildChunk(recs []obsRec, defaultTS int) *data.Dataset {
 // WarmState returns the incremental (I-CRH) truths and per-source weights
 // accumulated by live ingest, without any recomputation: the values are
 // maintained chunk-by-chunk as batches arrive. chunks is the number of
-// batches processed. Weights are keyed by source name.
-func (e *entry) WarmState() (truths []TruthJSON, weights map[string]float64, chunks int) {
+// batches processed and version the snapshot version the state
+// corresponds to — returned from the same critical section so callers
+// never observe a version newer than the truths it labels. Weights are
+// keyed by source name.
+func (e *entry) WarmState() (version int64, truths []TruthJSON, weights map[string]float64, chunks int) {
 	e.warmMu.RLock()
 	defer e.warmMu.RUnlock()
 	truths = make([]TruthJSON, 0, len(e.warmTruths))
 	for k, v := range e.warmTruths {
 		t := TruthJSON{Object: k.obj, Property: k.prop}
 		if v.typ == data.Categorical {
-			t.Value = v.cat
+			t.Value = TruthValue{IsCat: true, Cat: v.cat}
 		} else {
-			t.Value = v.f
+			t.Value = TruthValue{F: v.f}
 		}
 		truths = append(truths, t)
 	}
@@ -513,7 +530,7 @@ func (e *entry) WarmState() (truths []TruthJSON, weights map[string]float64, chu
 			weights[e.warmSources[k]] = w
 		}
 	}
-	return truths, weights, e.chunks
+	return e.warmVersion, truths, weights, e.chunks
 }
 
 // Count returns the number of registered datasets.

@@ -209,7 +209,7 @@ func TestIngestRejectsAtomically(t *testing.T) {
 	if snap.Data.NumSources() != 2 || snap.Data.NumObjects() != 2 || snap.Data.NumProps() != 2 {
 		t.Fatalf("rejected batch mutated dataset: %+v", e.Info())
 	}
-	if _, _, chunks := e.WarmState(); chunks != 0 {
+	if _, _, _, chunks := e.WarmState(); chunks != 0 {
 		t.Fatalf("rejected batches advanced I-CRH state: %d chunks", chunks)
 	}
 }
@@ -278,7 +278,7 @@ func TestWarmStateMatchesDirectProcessor(t *testing.T) {
 	}
 	proc.Process(chunk2.Build())
 
-	_, weights, chunks := e.WarmState()
+	_, _, weights, chunks := e.WarmState()
 	if chunks != 2 {
 		t.Fatalf("chunks = %d, want 2", chunks)
 	}
@@ -289,16 +289,16 @@ func TestWarmStateMatchesDirectProcessor(t *testing.T) {
 		}
 	}
 
-	truths, _, _ := e.WarmState()
-	byKey := map[string]any{}
+	_, truths, _, _ := e.WarmState()
+	byKey := map[string]TruthValue{}
 	for _, tr := range truths {
 		byKey[tr.Object+"/"+tr.Property] = tr.Value
 	}
-	if byKey["o2/cond"] != "rain" {
-		t.Errorf("warm truth o2/cond = %v, want rain", byKey["o2/cond"])
+	if v := byKey["o2/cond"]; !v.IsCat || v.Cat != "rain" {
+		t.Errorf("warm truth o2/cond = %+v, want rain", v)
 	}
-	if v, ok := byKey["o1/temp"].(float64); !ok || v < 10 || v > 14 {
-		t.Errorf("warm truth o1/temp = %v", byKey["o1/temp"])
+	if v := byKey["o1/temp"]; v.IsCat || v.F < 10 || v.F > 14 {
+		t.Errorf("warm truth o1/temp = %+v", v)
 	}
 }
 
@@ -342,7 +342,7 @@ func TestConcurrentIngestAndResolve(t *testing.T) {
 					t.Errorf("resolve: %v", err)
 					return
 				}
-				if _, _, chunks := e.WarmState(); chunks < 0 {
+				if _, _, _, chunks := e.WarmState(); chunks < 0 {
 					t.Error("negative chunks")
 					return
 				}
@@ -357,5 +357,66 @@ func TestConcurrentIngestAndResolve(t *testing.T) {
 	}
 	if err := snap.Data.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentWarmStateVersion is the torn-read regression test for
+// the incremental endpoint: version and warm state must come from one
+// atomic read. The invariant version == chunks+1 holds at every instant
+// (1 at create, both advance together under warmMu per ingest); the old
+// code read e.Snapshot().Version separately from WarmState, so under
+// -race-with-ingest it could pair a new version with old truths and
+// break the invariant. Run under make racehammer.
+func TestConcurrentWarmStateVersion(t *testing.T) {
+	r := NewRegistry(1)
+	e, err := r.Create("d", strings.NewReader(testTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 200
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			_, err := e.Ingest([]Observation{
+				{Source: "s1", Object: "o1", Property: "temp", Value: num(float64(i))},
+			})
+			if err != nil {
+				t.Errorf("ingest: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				version, truths, weights, chunks := e.WarmState()
+				if version != int64(chunks)+1 {
+					t.Errorf("torn read: version %d with %d chunks (want version == chunks+1)", version, chunks)
+					return
+				}
+				if chunks > 0 && (len(truths) == 0 || len(weights) == 0) {
+					t.Errorf("version %d reports %d chunks but empty state", version, chunks)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	version, _, _, chunks := e.WarmState()
+	if version != int64(rounds)+1 || chunks != rounds {
+		t.Fatalf("final warm state: version %d chunks %d, want %d/%d", version, chunks, rounds+1, rounds)
 	}
 }

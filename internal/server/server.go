@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -352,7 +353,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // resolveEnvelope wraps the shared immutable result with per-request
-// serving metadata.
+// serving metadata. It is the wire shape of every resolve response; the
+// serve path renders it from an envPrefix constant plus the result's
+// precomputed body bytes (encode.go), never through this struct — it
+// exists as the schema of record and for clients/tests to decode into.
 type resolveEnvelope struct {
 	// Cached reports an LRU hit; Coalesced that this request shared
 	// another identical inflight request's computation.
@@ -396,11 +400,11 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	snap := e.Snapshot()
 	key := cacheKey(e.uid, snap.Version, req)
 
-	if resp, ok := s.cache.get(key); ok {
+	if res, ok := s.cache.get(key); ok {
 		s.stats.cacheHits.Add(1)
 		sp.Mark(stageCache)
 		tEnc := time.Now()
-		writeJSON(w, http.StatusOK, resolveEnvelope{Cached: true, ResolveResponse: resp})
+		writeResolveEnvelope(w, envPrefixCached, res.body)
 		sp.Add(stageEncode, time.Since(tEnc))
 		s.stats.observeSpan(sp, e.name, true, false, time.Since(t0))
 		return
@@ -409,7 +413,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	sp.Mark(stageCache)
 
 	tFlight := time.Now()
-	resp, err, shared := s.flights.do(key, func() (*ResolveResponse, error) {
+	res, err, shared := s.flights.do(key, func() (*cachedResult, error) {
 		// Leader only: everything between flight entry and solve start
 		// (flight bookkeeping, inflight registration, budget split) is
 		// queueing; the computation itself is the solve stage. A
@@ -424,16 +428,23 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		tSolve := time.Now()
 		resp, err := compute(e.name, snap, req, method, s.solverBudget(n), s.pool)
 		sp.Add(stageSolve, time.Since(tSolve))
-		if err == nil {
-			s.cache.add(key, resp)
+		if err != nil {
+			return nil, err
 		}
-		return resp, err
+		// The leader encodes the body exactly once, here, so the bytes are
+		// shared by the cache, every coalesced follower, and the leader's
+		// own write below. This is the only full encode per computation.
+		tEnc := time.Now()
+		res := &cachedResult{resp: resp, body: encodeResolveBody(resp)}
+		sp.Add(stageEncode, time.Since(tEnc))
+		s.cache.add(key, res)
+		return res, nil
 	})
 	if shared {
 		sp.Add(stageCoalesce, time.Since(tFlight))
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "resolve: %v", err)
+		writeError(w, resolveErrorStatus(err), "resolve: %v", err)
 		return
 	}
 	if shared {
@@ -441,10 +452,25 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.stats.coalesceLeaders.Add(1)
 	}
+	prefix := envPrefixPlain
+	if shared {
+		prefix = envPrefixCoalesced
+	}
 	tEnc := time.Now()
-	writeJSON(w, http.StatusOK, resolveEnvelope{Coalesced: shared, ResolveResponse: resp})
+	writeResolveEnvelope(w, prefix, res.body)
 	sp.Add(stageEncode, time.Since(tEnc))
 	s.stats.observeSpan(sp, e.name, false, shared, time.Since(t0))
+}
+
+// resolveErrorStatus maps a compute failure onto HTTP: a broken
+// server-side invariant (errInternal — e.g. a method returning malformed
+// weights) is a 500, while a valid request the solver cannot satisfy
+// (empty dataset, divergent configuration) stays a 422.
+func resolveErrorStatus(err error) int {
+	if errors.Is(err, errInternal) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // compute runs the requested method on a pinned snapshot and shapes the
@@ -481,10 +507,21 @@ func compute(name string, snap *Snapshot, req *ResolveRequest, method baseline.M
 		resp.Truths = truthsJSON(d, truths, nil)
 	}
 	if weights != nil {
-		resp.Weights = make(map[string]float64, d.NumSources())
-		for k := 0; k < d.NumSources() && k < len(weights); k++ {
-			resp.Weights[d.SourceName(k)] = weights[k]
+		// A weight-count mismatch means the method broke its contract
+		// (one weight per source); serving a truncated weights map would
+		// silently misattribute reliability, so fail loudly instead.
+		if len(weights) != d.NumSources() {
+			return nil, fmt.Errorf("%w: method %s returned %d weights for %d sources",
+				errInternal, req.Method, len(weights), d.NumSources())
 		}
+		ws := make(SourceWeights, d.NumSources())
+		for k := range ws {
+			ws[k] = SourceWeight{Name: d.SourceName(k), Weight: weights[k]}
+		}
+		// Wire order is name-sorted (options.go); source index order is
+		// insertion order, which need not agree.
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Name < ws[j].Name })
+		resp.Weights = ws
 	}
 	return resp, nil
 }
@@ -502,9 +539,9 @@ func truthsJSON(d *data.Dataset, t *data.Table, confidence []float64) []TruthJSO
 			p := d.Prop(m)
 			tj := TruthJSON{Object: d.ObjectName(i), Property: p.Name}
 			if p.Type == data.Categorical {
-				tj.Value = p.CatName(int(v.C))
+				tj.Value = TruthValue{IsCat: true, Cat: p.CatName(int(v.C))}
 			} else {
-				tj.Value = v.F
+				tj.Value = TruthValue{F: v.F}
 			}
 			if confidence != nil {
 				c := confidence[d.Entry(i, m)]
@@ -522,10 +559,13 @@ func (s *Server) handleIncremental(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "dataset %q not found", r.PathValue("name"))
 		return
 	}
-	truths, weights, chunks := e.WarmState()
+	// One WarmState call returns the version alongside the state it
+	// describes; reading e.Snapshot().Version separately would race with
+	// concurrent ingest and could pair a newer version with older truths.
+	version, truths, weights, chunks := e.WarmState()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"dataset": e.name,
-		"version": e.Snapshot().Version,
+		"version": version,
 		"chunks":  chunks,
 		"truths":  truths,
 		"weights": weights,

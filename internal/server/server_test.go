@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -133,7 +134,7 @@ func checkTruthsMatch(t *testing.T, d *data.Dataset, want *data.Table, got []Tru
 	if len(got) != wantCount {
 		t.Fatalf("%d truths in response, want %d", len(got), wantCount)
 	}
-	byKey := make(map[string]any, len(got))
+	byKey := make(map[string]TruthValue, len(got))
 	for _, tr := range got {
 		byKey[tr.Object+"\x00"+tr.Property] = tr.Value
 	}
@@ -149,11 +150,11 @@ func checkTruthsMatch(t *testing.T, d *data.Dataset, want *data.Table, got []Tru
 				t.Fatalf("missing truth for %s/%s", d.ObjectName(i), p.Name)
 			}
 			if p.Type == data.Categorical {
-				if gotV != p.CatName(int(v.C)) {
-					t.Fatalf("truth %s/%s = %v, want %s", d.ObjectName(i), p.Name, gotV, p.CatName(int(v.C)))
+				if !gotV.IsCat || gotV.Cat != p.CatName(int(v.C)) {
+					t.Fatalf("truth %s/%s = %+v, want %s", d.ObjectName(i), p.Name, gotV, p.CatName(int(v.C)))
 				}
-			} else if f, ok := gotV.(float64); !ok || math.Abs(f-v.F) > 1e-12 {
-				t.Fatalf("truth %s/%s = %v, want %v", d.ObjectName(i), p.Name, gotV, v.F)
+			} else if gotV.IsCat || math.Abs(gotV.F-v.F) > 1e-12 {
+				t.Fatalf("truth %s/%s = %+v, want %v", d.ObjectName(i), p.Name, gotV, v.F)
 			}
 		}
 	}
@@ -189,7 +190,7 @@ func TestResolveMatchesDirectRun(t *testing.T) {
 	}
 	checkTruthsMatch(t, d, want.Truths, env.Truths)
 	for k := 0; k < d.NumSources(); k++ {
-		if w := env.Weights[d.SourceName(k)]; math.Abs(w-want.Weights[k]) > 1e-12 {
+		if w := env.Weights.Get(d.SourceName(k)); math.Abs(w-want.Weights[k]) > 1e-12 {
 			t.Fatalf("weight %s = %v, want %v", d.SourceName(k), w, want.Weights[k])
 		}
 	}
@@ -231,6 +232,47 @@ func TestResolveOptionsAndBaselines(t *testing.T) {
 	mustCreate(t, ts.URL, "empty", "")
 	if code := doJSON(t, "POST", ts.URL+"/v1/datasets/empty/resolve", nil, nil); code != http.StatusUnprocessableEntity {
 		t.Fatalf("empty resolve: %d", code)
+	}
+}
+
+// truncatedWeightsMethod breaks the Method contract on purpose: it
+// returns one weight fewer than the dataset has sources.
+type truncatedWeightsMethod struct{}
+
+func (truncatedWeightsMethod) Name() string { return "truncated-weights" }
+
+func (truncatedWeightsMethod) Resolve(d *data.Dataset) (*data.Table, []float64) {
+	truths, _ := baseline.Mean{}.Resolve(d)
+	return truths, make([]float64, d.NumSources()-1)
+}
+
+// TestComputeWeightsMismatch: a method returning the wrong number of
+// weights used to silently truncate the served weights map; it must now
+// be an internal error that maps to a 500, never a partial response.
+func TestComputeWeightsMismatch(t *testing.T) {
+	d, _, err := data.Decode(strings.NewReader(testTSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Version: 1, Data: d}
+	req := &ResolveRequest{}
+	req.normalize()
+	req.Method = "truncated-weights"
+
+	resp, err := compute("d", snap, req, truncatedWeightsMethod{}, 1, nil)
+	if err == nil {
+		t.Fatalf("compute served truncated weights: %+v", resp.Weights)
+	}
+	if !errors.Is(err, errInternal) {
+		t.Fatalf("err = %v, want errInternal", err)
+	}
+	if got := resolveErrorStatus(err); got != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", got)
+	}
+	// The ordinary compute failure (solver error on an empty dataset)
+	// must stay a 422.
+	if got := resolveErrorStatus(errors.New("no entries")); got != http.StatusUnprocessableEntity {
+		t.Fatalf("non-internal status = %d, want 422", got)
 	}
 }
 
@@ -418,7 +460,7 @@ func TestIngestThenResolveMatchesFreshRun(t *testing.T) {
 	}
 	checkTruthsMatch(t, full, want.Truths, env.Truths)
 	for k := 0; k < full.NumSources(); k++ {
-		if w := env.Weights[full.SourceName(k)]; math.Abs(w-want.Weights[k]) > 1e-12 {
+		if w := env.Weights.Get(full.SourceName(k)); math.Abs(w-want.Weights[k]) > 1e-12 {
 			t.Fatalf("weight %s = %v, want %v", full.SourceName(k), w, want.Weights[k])
 		}
 	}

@@ -109,9 +109,13 @@ func NewStats(reg *obs.Registry) *Stats {
 	reg.NewGaugeFunc("crhd_uptime_seconds", "seconds since the server started", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
-	reg.NewGaugeFunc("crhd_cache_hit_ratio", "resolve cache hits over lookups since start (NaN before the first lookup)", func() float64 {
+	reg.NewGaugeFunc("crhd_cache_hit_ratio", "resolve cache hits over lookups since start (omitted before the first lookup)", func() float64 {
 		h, m := float64(s.cacheHits.Value()), float64(s.cacheMisses.Value())
 		if h+m == 0 {
+			// NaN tells the exposition layer to omit the sample: a ratio
+			// with no lookups has no value, and emitting NaN (or a fake 0)
+			// would mislead strict scrapers. Same rule as empty-histogram
+			// quantiles.
 			return math.NaN()
 		}
 		return h / (h + m)

@@ -225,8 +225,10 @@ func TestStageLogDisabled(t *testing.T) {
 	sp.Release()
 }
 
-// TestCacheHitRatioGauge checks the derived gauge: absent lookups it
-// exposes NaN, afterwards hits/lookups.
+// TestCacheHitRatioGauge checks the derived gauge: before the first
+// lookup the sample is omitted entirely (a NaN in the exposition would
+// break strict scrapers — same rule as empty-histogram quantiles), and
+// afterwards it reports hits/lookups.
 func TestCacheHitRatioGauge(t *testing.T) {
 	s, reg := newTestStats()
 	expo := func() string {
@@ -236,8 +238,11 @@ func TestCacheHitRatioGauge(t *testing.T) {
 		}
 		return sb.String()
 	}
-	if out := expo(); !strings.Contains(out, "crhd_cache_hit_ratio NaN") {
-		t.Errorf("pre-lookup exposition missing NaN ratio:\n%s", out)
+	// Match a sample line (starts at column 0), not the HELP/TYPE headers.
+	if out := expo(); strings.Contains(out, "\ncrhd_cache_hit_ratio ") {
+		t.Errorf("pre-lookup exposition should omit the ratio sample:\n%s", out)
+	} else if !strings.Contains(out, "# TYPE crhd_cache_hit_ratio gauge") {
+		t.Errorf("pre-lookup exposition missing the family metadata:\n%s", out)
 	}
 	s.cacheHits.Add(3)
 	s.cacheMisses.Add(1)

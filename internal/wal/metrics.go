@@ -51,7 +51,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		RecoverySeconds:    reg.NewGauge("crhd_wal_recovery_seconds", "duration of the last boot-time WAL recovery"),
 		ReplayedRecords:    reg.NewCounter("crhd_wal_replayed_records_total", "WAL batch records replayed during recovery"),
 	}
-	reg.NewGaugeFunc("crhd_wal_snapshot_age_seconds", "seconds since the newest dataset snapshot was written (NaN before the first)", func() float64 {
+	reg.NewGaugeFunc("crhd_wal_snapshot_age_seconds", "seconds since the newest dataset snapshot was written (omitted before the first)", func() float64 {
 		ns := m.lastSnapshotUnixNano.Load()
 		if ns == 0 {
 			return math.NaN()

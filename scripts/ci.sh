@@ -20,11 +20,16 @@
 #   7. make loadcheck  boot a real crhd and drive a seeded crhload smoke
 #                      against it: zero request errors and populated
 #                      per-stage latency histograms (docs/LOAD.md)
-#   8. lint self-check every analyzer crhlint -list reports must have a
+#   8. encode allocs   the AllocsPerRun pins on the resolve encode and
+#                      cached-bytes serve paths, on their own so an
+#                      allocation regression in the hot path is named in
+#                      the logs (the golden byte-equality suite already
+#                      ran inside make check)
+#   9. lint self-check every analyzer crhlint -list reports must have a
 #                      golden testdata package, and the full -json report
 #                      (suppressed findings included) is archived under
 #                      results/lint-report.json as the audit record
-#   9. gofmt -l        fails if any tracked Go file is unformatted
+#  10. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -52,6 +57,9 @@ make fuzz FUZZTIME=5s
 
 echo "==> loadcheck (serve-path smoke)"
 make loadcheck
+
+echo "==> encode allocation pins"
+go test -run 'TestEncodeAllocs' -count=1 ./internal/server/
 
 echo "==> lint self-check (golden coverage + json report)"
 missing=""
