@@ -7,6 +7,7 @@
 //	crhbench -exp all -json .      # also write BENCH_<id>.json per experiment
 //	crhbench -workers 1,2,4,8      # parallel-solver sweep over worker budgets
 //	crhbench -ingest off,interval,batch  # WAL append throughput per fsync policy
+//	crhbench -scales medium,large  # solver scale sweep, sequential vs parallel
 //	crhbench -list                 # enumerate experiment IDs
 //
 // Small scale shrinks the large simulations so every experiment finishes
@@ -31,6 +32,14 @@
 // policy, verifies each log replays bit-identically, and — with -json —
 // writes one BENCH_ingest-<policy>.json per policy with an obs_per_sec
 // field.
+//
+// With -scales, crhbench times the core solver on growing Bank
+// simulations (small, medium, large tiers), running each tier once
+// sequentially and once at an 8-worker budget, verifying the two are
+// bit-for-bit identical, and — with -json — writing one
+// BENCH_scale-<tier>.json per tier with seq_wall_ns and speedup fields.
+// The speedup only reflects hardware parallelism when gomaxprocs
+// exceeds 1; the record pins gomaxprocs so CI can tell.
 package main
 
 import (
@@ -51,6 +60,7 @@ import (
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/experiments"
 	"github.com/crhkit/crh/internal/obs/buildinfo"
+	"github.com/crhkit/crh/internal/synth"
 	"github.com/crhkit/crh/internal/wal"
 )
 
@@ -92,6 +102,14 @@ type benchRecord struct {
 	// only comparable between records agreeing on it.
 	ObsPerSec float64 `json:"obs_per_sec,omitempty"`
 	Fsync     string  `json:"fsync,omitempty"` // see ObsPerSec
+	// SeqWallNs and Speedup appear on scale-sweep records
+	// (BENCH_scale-<tier>.json): the sequential (workers=1) wall time of
+	// the same solve, and the ratio seq/parallel. Speedup only reflects
+	// hardware parallelism when GoMaxProcs exceeds 1 — on a single-CPU
+	// runner the parallel run still exercises the full work-stealing
+	// path but its wall time hovers around the sequential one.
+	SeqWallNs int64   `json:"seq_wall_ns,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
 }
 
 // runMeasured executes one experiment, rendering its report to stdout
@@ -207,6 +225,91 @@ func runWorkersSweep(list string, s experiments.Scale, scaleName, jsonDir string
 			GoVersion:    runtime.Version(),
 			GoMaxProcs:   runtime.GOMAXPROCS(0),
 			Workers:      k,
+		}
+		if err := writeRecord(jsonDir, rec); err != nil {
+			fmt.Fprintf(stderr, "crhbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "crhbench: wrote %s\n", filepath.Join(jsonDir, "BENCH_"+rec.Name+".json"))
+	}
+	return 0
+}
+
+// scaleTiers maps -scales tier names to Bank simulation ground-truth
+// row counts. The small tier matches the workers sweep's dataset
+// (experiments.BankData at ScaleSmall uses the same generator seed) so
+// scale records chain onto the existing worker records; medium and
+// large grow the entry count 4× and 12× to put the columnar freeze,
+// the shard partials, and the scratch reuse well past cache-resident
+// sizes. Each row contributes 16 entries (the Bank schema).
+var scaleTiers = map[string]int{
+	"small":  2000,
+	"medium": 8000,
+	"large":  24000,
+}
+
+// bankSeed mirrors experiments.BankData's generator seed (2014 + 4) so
+// the small tier reproduces the workers sweep's dataset exactly.
+const bankSeed = 2018
+
+// runScaleSweep times the solver on the Bank simulation once per tier,
+// sequentially and at an 8-worker budget, cross-checking the two runs
+// bit for bit before any record is written.
+func runScaleSweep(list, jsonDir string, stdout, stderr io.Writer) int {
+	const parWorkers = 8
+	for _, field := range strings.Split(list, ",") {
+		tier := strings.TrimSpace(field)
+		rows, ok := scaleTiers[tier]
+		if !ok {
+			fmt.Fprintf(stderr, "crhbench: unknown -scales tier %q (want small, medium or large)\n", tier)
+			return 2
+		}
+		d, _ := synth.Bank(synth.UCIConfig{Seed: bankSeed, Rows: rows})
+		fmt.Fprintf(stdout, "scale=%s: Bank simulation, %d entries, %d sources, gomaxprocs=%d\n",
+			tier, d.NumEntries(), d.NumSources(), runtime.GOMAXPROCS(0))
+
+		t0 := time.Now()
+		ref, err := core.Run(d, core.Config{Workers: 1})
+		seqWall := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: scale=%s sequential: %v\n", tier, err)
+			return 1
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t1 := time.Now()
+		res, err := core.Run(d, core.Config{Workers: parWorkers})
+		parWall := time.Since(t1)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			fmt.Fprintf(stderr, "crhbench: scale=%s workers=%d: %v\n", tier, parWorkers, err)
+			return 1
+		}
+		if err := sameBits(d, ref, res); err != nil {
+			fmt.Fprintf(stderr, "crhbench: scale=%s workers=%d diverged from sequential run: %v\n", tier, parWorkers, err)
+			return 1
+		}
+		speedup := seqWall.Seconds() / parWall.Seconds()
+		fmt.Fprintf(stdout, "scale=%s: seq %v, workers=%d %v (speedup %.2fx), %d iterations, bit-identical\n",
+			tier, seqWall.Round(time.Microsecond), parWorkers, parWall.Round(time.Microsecond), speedup, res.Iterations)
+		if jsonDir == "" {
+			continue
+		}
+		rec := benchRecord{
+			Name:         "scale-" + tier,
+			Caption:      fmt.Sprintf("CRH solver scale sweep on the Bank simulation, %d rows (%d entries)", rows, d.NumEntries()),
+			Scale:        tier,
+			Runs:         1,
+			WallNs:       parWall.Nanoseconds(),
+			NsPerOp:      parWall.Nanoseconds(),
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			AllocObjects: after.Mallocs - before.Mallocs,
+			TableRows:    res.Truths.Count(),
+			GoVersion:    runtime.Version(),
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			Workers:      parWorkers,
+			SeqWallNs:    seqWall.Nanoseconds(),
+			Speedup:      speedup,
 		}
 		if err := writeRecord(jsonDir, rec); err != nil {
 			fmt.Fprintf(stderr, "crhbench: %v\n", err)
@@ -371,6 +474,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonDir := fs.String("json", "", "write a BENCH_<id>.json record per experiment to this directory")
 	workersList := fs.String("workers", "", "comma-separated solver worker budgets: time the Bank workload per budget instead of running experiments")
 	ingestList := fs.String("ingest", "", "comma-separated WAL fsync policies (off,interval,batch): measure durable append throughput per policy instead of running experiments")
+	scalesList := fs.String("scales", "", "comma-separated solver scale tiers (small,medium,large): time the Bank workload sequential vs parallel per tier instead of running experiments")
 	version := fs.Bool("version", false, "print version information and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -404,6 +508,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workersList != "" {
 		return runWorkersSweep(*workersList, s, *scale, *jsonDir, stdout, stderr)
+	}
+	if *scalesList != "" {
+		return runScaleSweep(*scalesList, *jsonDir, stdout, stderr)
 	}
 
 	reg := experiments.Registry()

@@ -116,6 +116,50 @@ func TestCrhbenchWorkersSweep(t *testing.T) {
 	}
 }
 
+// TestCrhbenchScaleSweep runs the solver scale sweep on the small tier
+// and validates the record's sequential/parallel pair.
+func TestCrhbenchScaleSweep(t *testing.T) {
+	dir := t.TempDir()
+	var out, errB bytes.Buffer
+	if code := run([]string{"-scales", "small", "-json", dir}, &out, &errB); code != 0 {
+		t.Fatalf("exit %d (%s)", code, errB.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_scale-small.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Name       string  `json:"name"`
+		Scale      string  `json:"scale"`
+		WallNs     int64   `json:"wall_ns"`
+		SeqWallNs  int64   `json:"seq_wall_ns"`
+		Speedup    float64 `json:"speedup"`
+		TableRows  int     `json:"table_rows"`
+		GoMaxProcs int     `json:"gomaxprocs"`
+		Workers    int     `json:"workers"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "scale-small" || rec.Scale != "small" || rec.Workers != 8 || rec.GoMaxProcs < 1 {
+		t.Errorf("record pins = %+v", rec)
+	}
+	if rec.WallNs <= 0 || rec.SeqWallNs <= 0 || rec.Speedup <= 0 || rec.TableRows <= 0 {
+		t.Errorf("record has empty measurements: %+v", rec)
+	}
+	if !strings.Contains(out.String(), "bit-identical") {
+		t.Errorf("sweep output missing cross-check line:\n%s", out.String())
+	}
+}
+
+// TestCrhbenchScaleSweepBad covers unknown tier names.
+func TestCrhbenchScaleSweepBad(t *testing.T) {
+	var out, errB bytes.Buffer
+	if code := run([]string{"-scales", "gigantic"}, &out, &errB); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
 // TestCrhbenchWorkersBad covers malformed -workers lists.
 func TestCrhbenchWorkersBad(t *testing.T) {
 	var out, errB bytes.Buffer

@@ -1,0 +1,192 @@
+// Package col provides the frozen columnar (struct-of-arrays) view of a
+// data.Dataset that the solver's hot loops run on. A Dataset is
+// pointer-light but source-major: answering "who observed entry e"
+// walks every source's presence row, so one truth update touches
+// K·N·M presence bytes however sparse the data is. Freeze converts the
+// dataset — once — into an entry-major CSR index over the actual
+// claims:
+//
+//   - Off[e:e+1] bounds entry e's claims in Src, whose elements are the
+//     observing source indices in ascending order;
+//   - VOff[e] locates the entry's claim values in VF (continuous
+//     properties) or VC (categorical properties), parallel to Src, so
+//     each entry's values are one contiguous typed column slice;
+//   - Dicts mirrors each categorical property's dictionary; codes in VC
+//     are identical to the property's category indices, so tie-breaking
+//     rules ("lowest category index wins") are preserved verbatim.
+//
+// The layout is entry-major — not property-major — deliberately: the
+// solver's determinism contract (docs/PARALLEL.md) fixes the iteration
+// and reduction order over entries, and the freeze must preserve that
+// order exactly for the rewritten loops to stay bit-identical to the
+// pre-columnar solver. Within an entry, claims are source-ascending,
+// which is the order Dataset.ForEntry produced. A frozen Columns is
+// immutable and safe for concurrent readers; every exported slice must
+// be treated as read-only.
+package col
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// Columns is the frozen struct-of-arrays view. See the package comment
+// for the layout. All fields are read-only after Freeze.
+type Columns struct {
+	// Sources, Objects, Props mirror the frozen dataset's dimensions.
+	Sources, Objects, Props int
+
+	// PropKind[m] is property m's data type; NumCats[m] its dictionary
+	// size (0 for continuous properties); Dicts[m] the mirrored
+	// dictionary (nil for continuous properties). MaxCats is the largest
+	// dictionary, sizing per-worker vote scratch.
+	PropKind []data.Type
+	NumCats  []int
+	Dicts    []*Dict
+	MaxCats  int
+
+	// Off[e] is the first claim of entry e in Src; Off[NumEntries] the
+	// total claim count. Src[j] is claim j's source index. MaxObs is the
+	// largest per-entry claim count, sizing per-worker gather scratch.
+	Off    []int32
+	Src    []uint32
+	MaxObs int
+
+	// VOff[e] is the first value of entry e in VF (continuous entries)
+	// or VC (categorical entries); entry e's n = Off[e+1]-Off[e] values
+	// occupy VF[VOff[e]:VOff[e]+n] resp. VC[VOff[e]:VOff[e]+n],
+	// parallel to Src[Off[e]:Off[e+1]].
+	VOff []int32
+	VF   []float64
+	VC   []uint32
+}
+
+// NumEntries returns the number of addressable entries (Objects·Props).
+func (c *Columns) NumEntries() int { return c.Objects * c.Props }
+
+// NumClaims returns the total number of observations frozen.
+func (c *Columns) NumClaims() int { return len(c.Src) }
+
+// EntryProp returns the property index of entry e.
+func (c *Columns) EntryProp(e int) int { return e % c.Props }
+
+// Observers returns the number of sources observing entry e.
+func (c *Columns) Observers(e int) int { return int(c.Off[e+1] - c.Off[e]) }
+
+// SrcsOf returns entry e's observing source indices, ascending.
+func (c *Columns) SrcsOf(e int) []uint32 { return c.Src[c.Off[e]:c.Off[e+1]] }
+
+// Floats returns entry e's continuous claim values, parallel to
+// SrcsOf(e). Meaningless for categorical entries.
+func (c *Columns) Floats(e int) []float64 {
+	n := int32(c.Observers(e))
+	return c.VF[c.VOff[e] : c.VOff[e]+n]
+}
+
+// Codes returns entry e's categorical claim codes, parallel to
+// SrcsOf(e). Meaningless for continuous entries.
+func (c *Columns) Codes(e int) []uint32 {
+	n := int32(c.Observers(e))
+	return c.VC[c.VOff[e] : c.VOff[e]+n]
+}
+
+// Freeze builds the columnar view of d. It is the only scan of the
+// source-major matrices a solver run performs; everything downstream
+// walks the flat claim columns. Freeze panics if the dataset holds more
+// than MaxInt32 observations — the int32 offset arrays are half the
+// footprint of int64, and a dataset beyond 2³¹ claims does not fit the
+// in-process representation anyway.
+func Freeze(d *data.Dataset) *Columns {
+	N, M, K := d.NumObjects(), d.NumProps(), d.NumSources()
+	NM := N * M
+	if total := d.NumObservations(); total > math.MaxInt32 {
+		panic(fmt.Sprintf("col: %d observations overflow the int32 claim index", total))
+	}
+	c := &Columns{
+		Sources:  K,
+		Objects:  N,
+		Props:    M,
+		PropKind: make([]data.Type, M),
+		NumCats:  make([]int, M),
+		Dicts:    make([]*Dict, M),
+		Off:      make([]int32, NM+1),
+		VOff:     make([]int32, NM),
+	}
+	for m := 0; m < M; m++ {
+		p := d.Prop(m)
+		c.PropKind[m] = p.Type
+		if p.Type != data.Categorical {
+			continue
+		}
+		nc := p.NumCats()
+		c.NumCats[m] = nc
+		if nc > c.MaxCats {
+			c.MaxCats = nc
+		}
+		names := make([]string, nc)
+		for i := 0; i < nc; i++ {
+			names[i] = p.CatName(i)
+		}
+		c.Dicts[m] = FromNames(names)
+	}
+
+	// Pass 1: per-entry claim counts.
+	cnt := make([]int32, NM)
+	for k := 0; k < K; k++ {
+		for e := 0; e < NM; e++ {
+			if d.HasEntry(k, e) {
+				cnt[e]++
+			}
+		}
+	}
+
+	// Offsets: Off is the claim-index prefix sum; VOff prefix-sums
+	// continuous and categorical entries separately, so each typed value
+	// column is exactly as long as its claims.
+	var pos, nf, ncat int32
+	for e := 0; e < NM; e++ {
+		c.Off[e] = pos
+		n := cnt[e]
+		if int(n) > c.MaxObs {
+			c.MaxObs = int(n)
+		}
+		if c.PropKind[e%M] == data.Categorical {
+			c.VOff[e] = ncat
+			ncat += n
+		} else {
+			c.VOff[e] = nf
+			nf += n
+		}
+		pos += n
+	}
+	c.Off[NM] = pos
+	c.Src = make([]uint32, pos)
+	c.VF = make([]float64, nf)
+	c.VC = make([]uint32, ncat)
+
+	// Pass 2: fill. Scanning sources in ascending order makes each
+	// entry's claims source-ascending — the order ForEntry yields, which
+	// the bit-identity contract depends on. cnt is reused as the
+	// per-entry fill cursor.
+	clear(cnt)
+	for k := 0; k < K; k++ {
+		for e := 0; e < NM; e++ {
+			if !d.HasEntry(k, e) {
+				continue
+			}
+			j := c.Off[e] + cnt[e]
+			slot := c.VOff[e] + cnt[e]
+			cnt[e]++
+			c.Src[j] = uint32(k)
+			v := d.GetEntry(k, e)
+			if c.PropKind[e%M] == data.Categorical {
+				c.VC[slot] = uint32(v.C)
+			} else {
+				c.VF[slot] = v.F
+			}
+		}
+	}
+	return c
+}

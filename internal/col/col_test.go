@@ -1,0 +1,176 @@
+package col
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crhkit/crh/internal/data"
+)
+
+// buildRandom assembles a mixed continuous/categorical dataset with
+// missing values from a seeded generator.
+func buildRandom(seed int64, sources, objects int) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := data.NewBuilder()
+	pf := b.MustProperty("f", data.Continuous)
+	pc := b.MustProperty("c", data.Categorical)
+	cats := []string{"x", "y", "z", "w"}
+	for _, s := range cats {
+		b.CatValue(pc, s)
+	}
+	for o := 0; o < objects; o++ {
+		obj := b.Object(fmt.Sprintf("o%04d", o))
+		for k := 0; k < sources; k++ {
+			src := b.Source(fmt.Sprintf("s%02d", k))
+			if rng.Float64() < 0.7 {
+				b.ObserveIdx(src, obj, pf, data.Float(rng.NormFloat64()*10))
+			}
+			if rng.Float64() < 0.7 {
+				b.ObserveIdx(src, obj, pc, data.Cat(rng.Intn(len(cats))))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestFreezeMatchesForEntry checks the frozen claims against the
+// dataset's own iteration: same sources in the same order, same values,
+// bit for bit.
+func TestFreezeMatchesForEntry(t *testing.T) {
+	d := buildRandom(1, 9, 120)
+	c := Freeze(d)
+	if c.NumClaims() != d.NumObservations() {
+		t.Fatalf("claims %d, want %d", c.NumClaims(), d.NumObservations())
+	}
+	for e := 0; e < d.NumEntries(); e++ {
+		var wantSrc []uint32
+		var wantF []float64
+		var wantC []uint32
+		cat := d.Prop(d.EntryProp(e)).Type == data.Categorical
+		d.ForEntry(e, func(k int, v data.Value) {
+			wantSrc = append(wantSrc, uint32(k))
+			if cat {
+				wantC = append(wantC, uint32(v.C))
+			} else {
+				wantF = append(wantF, v.F)
+			}
+		})
+		if got := c.SrcsOf(e); len(got) != len(wantSrc) {
+			t.Fatalf("entry %d: %d claims, want %d", e, len(got), len(wantSrc))
+		}
+		for j, k := range c.SrcsOf(e) {
+			if k != wantSrc[j] {
+				t.Fatalf("entry %d claim %d: source %d, want %d", e, j, k, wantSrc[j])
+			}
+		}
+		if cat {
+			for j, code := range c.Codes(e) {
+				if code != wantC[j] {
+					t.Fatalf("entry %d claim %d: code %d, want %d", e, j, code, wantC[j])
+				}
+			}
+		} else {
+			for j, v := range c.Floats(e) {
+				if math.Float64bits(v) != math.Float64bits(wantF[j]) {
+					t.Fatalf("entry %d claim %d: value %v, want %v", e, j, v, wantF[j])
+				}
+			}
+		}
+		if c.Observers(e) != d.EntryObservers(e) {
+			t.Fatalf("entry %d: observers %d, want %d", e, c.Observers(e), d.EntryObservers(e))
+		}
+	}
+}
+
+// TestFreezeDictsMirrorProperties: codes in the frozen dictionary are
+// exactly the property's category indices.
+func TestFreezeDictsMirrorProperties(t *testing.T) {
+	d := buildRandom(2, 5, 40)
+	c := Freeze(d)
+	for m := 0; m < d.NumProps(); m++ {
+		p := d.Prop(m)
+		if p.Type != data.Categorical {
+			if c.Dicts[m] != nil {
+				t.Fatalf("prop %d: continuous property has a dictionary", m)
+			}
+			continue
+		}
+		dict := c.Dicts[m]
+		if dict.Len() != p.NumCats() {
+			t.Fatalf("prop %d: dict len %d, want %d", m, dict.Len(), p.NumCats())
+		}
+		for i := 0; i < p.NumCats(); i++ {
+			name := p.CatName(i)
+			if dict.Name(uint32(i)) != name {
+				t.Fatalf("prop %d code %d: %q, want %q", m, i, dict.Name(uint32(i)), name)
+			}
+			code, ok := dict.Code(name)
+			if !ok || code != uint32(i) {
+				t.Fatalf("prop %d name %q: code %d/%t, want %d", m, name, code, ok, i)
+			}
+		}
+	}
+}
+
+// TestFreezeDeterministicRebuild: freezing the same dataset twice
+// produces identical columns — offsets, sources, values, dictionaries.
+func TestFreezeDeterministicRebuild(t *testing.T) {
+	d := buildRandom(3, 11, 200)
+	a, b := Freeze(d), Freeze(d)
+	if len(a.Off) != len(b.Off) || len(a.Src) != len(b.Src) ||
+		len(a.VF) != len(b.VF) || len(a.VC) != len(b.VC) {
+		t.Fatal("shape differs between rebuilds")
+	}
+	for i := range a.Off {
+		if a.Off[i] != b.Off[i] {
+			t.Fatalf("Off[%d] differs", i)
+		}
+	}
+	for i := range a.Src {
+		if a.Src[i] != b.Src[i] {
+			t.Fatalf("Src[%d] differs", i)
+		}
+	}
+	for i := range a.VF {
+		if math.Float64bits(a.VF[i]) != math.Float64bits(b.VF[i]) {
+			t.Fatalf("VF[%d] differs", i)
+		}
+	}
+	for i := range a.VC {
+		if a.VC[i] != b.VC[i] {
+			t.Fatalf("VC[%d] differs", i)
+		}
+	}
+	for m := range a.Dicts {
+		if (a.Dicts[m] == nil) != (b.Dicts[m] == nil) {
+			t.Fatalf("Dicts[%d] presence differs", m)
+		}
+		if a.Dicts[m] != nil && !a.Dicts[m].Equal(b.Dicts[m]) {
+			t.Fatalf("Dicts[%d] differs", m)
+		}
+	}
+}
+
+// TestFreezeEmptyEntries: entries nobody observed have empty claim
+// ranges and MaxObs reflects the densest entry.
+func TestFreezeEmptyEntries(t *testing.T) {
+	b := data.NewBuilder()
+	pf := b.MustProperty("f", data.Continuous)
+	b.Object("a")
+	b.Object("b")
+	b.ObserveIdx(b.Source("s0"), b.Object("a"), pf, data.Float(1))
+	b.ObserveIdx(b.Source("s1"), b.Object("a"), pf, data.Float(2))
+	d := b.Build()
+	c := Freeze(d)
+	if c.Observers(0) != 2 || c.Observers(1) != 0 {
+		t.Fatalf("observers: %d,%d want 2,0", c.Observers(0), c.Observers(1))
+	}
+	if c.MaxObs != 2 {
+		t.Fatalf("MaxObs %d, want 2", c.MaxObs)
+	}
+	if got := c.Floats(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("entry 0 floats %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+package col
+
+// Dict is an order-preserving string↔code dictionary for categorical
+// values: codes are dense uint32 indices assigned in first-intern order.
+// The columnar freeze mirrors each categorical property's dictionary
+// through a Dict so that a frozen column's codes are, by construction,
+// identical to the owning data.Property's category indices — the solver's
+// tie-breaking rules ("lowest category index wins") therefore mean the
+// same thing on both representations.
+//
+// A Dict is deterministic: interning the same name sequence always yields
+// the same codes, and rebuilding from a frozen name list (FromNames)
+// reproduces the dictionary bit-for-bit regardless of how many times, or
+// on which machine, the rebuild happens. A Dict is not safe for
+// concurrent mutation; a fully built Dict is safe for concurrent readers.
+type Dict struct {
+	names []string
+	codes map[string]uint32
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]uint32)}
+}
+
+// FromNames builds a dictionary whose code for names[i] is exactly
+// uint32(i). It panics on duplicate names — a frozen dictionary is a
+// bijection, and a duplicate means the caller's name list is corrupt.
+func FromNames(names []string) *Dict {
+	d := &Dict{
+		names: append([]string(nil), names...),
+		codes: make(map[string]uint32, len(names)),
+	}
+	for i, s := range names {
+		if _, dup := d.codes[s]; dup {
+			panic("col: duplicate name in FromNames: " + s)
+		}
+		d.codes[s] = uint32(i)
+	}
+	return d
+}
+
+// Intern returns the code for s, assigning the next free code on first
+// mention.
+func (d *Dict) Intern(s string) uint32 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := uint32(len(d.names))
+	d.names = append(d.names, s)
+	d.codes[s] = c
+	return c
+}
+
+// Code returns the code for s and whether s has been interned.
+func (d *Dict) Code(s string) (uint32, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Name returns the string for a code. It panics on an out-of-range code,
+// which always indicates corrupted state.
+func (d *Dict) Name(c uint32) string { return d.names[c] }
+
+// Len returns the number of interned values.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the interned strings in code order. The returned slice
+// is the dictionary's backing array and must be treated as read-only.
+func (d *Dict) Names() []string { return d.names }
+
+// Equal reports whether two dictionaries hold the same bijection: the
+// same names mapped to the same codes.
+func (d *Dict) Equal(o *Dict) bool {
+	if len(d.names) != len(o.names) {
+		return false
+	}
+	for i, s := range d.names {
+		if o.names[i] != s {
+			return false
+		}
+	}
+	return true
+}

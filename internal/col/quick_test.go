@@ -1,0 +1,154 @@
+package col
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the categorical dictionary (testing/quick): the
+// freeze's correctness rests on Dict being a deterministic bijection —
+// intern/lookup round-trips, codes depend only on first-mention order,
+// and rebuilding from the same inputs reproduces the dictionary exactly.
+
+// nameStream derives a bounded random stream of names (with duplicates)
+// from a seed.
+func nameStream(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	distinct := 1 + rng.Intn(12)
+	n := distinct + rng.Intn(40)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%02d", rng.Intn(distinct))
+	}
+	return out
+}
+
+// internAll builds a dictionary from a stream.
+func internAll(stream []string) *Dict {
+	d := NewDict()
+	for _, s := range stream {
+		d.Intern(s)
+	}
+	return d
+}
+
+// TestDictRoundTripQuick: after interning any stream, Code∘Name and
+// Name∘Code are identities, codes are dense in [0, Len), and Intern is
+// idempotent.
+func TestDictRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		stream := nameStream(seed)
+		d := internAll(stream)
+		for c := uint32(0); int(c) < d.Len(); c++ {
+			got, ok := d.Code(d.Name(c))
+			if !ok || got != c {
+				return false
+			}
+		}
+		for _, s := range stream {
+			c, ok := d.Code(s)
+			if !ok || int(c) >= d.Len() || d.Name(c) != s {
+				return false
+			}
+			if d.Intern(s) != c { // idempotent: re-interning changes nothing
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDictCodeStabilityUnderPermutedInsertion: codes are a function of
+// the first-mention order alone. Permuting the duplicate mentions of a
+// stream — shuffling everything while keeping each name's first
+// occurrence in place — yields an identical dictionary.
+func TestDictCodeStabilityUnderPermutedInsertion(t *testing.T) {
+	f := func(seed int64) bool {
+		stream := nameStream(seed)
+		base := internAll(stream)
+
+		// Rebuild the stream as: first mentions in original order, then
+		// all duplicates shuffled arbitrarily.
+		seen := make(map[string]bool)
+		var firsts, dups []string
+		for _, s := range stream {
+			if seen[s] {
+				dups = append(dups, s)
+			} else {
+				seen[s] = true
+				firsts = append(firsts, s)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		rng.Shuffle(len(dups), func(i, j int) { dups[i], dups[j] = dups[j], dups[i] })
+		permuted := internAll(append(append([]string(nil), firsts...), dups...))
+		return base.Equal(permuted)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDictRebuildDeterminismQuick: interning the same stream twice, or
+// rebuilding from the frozen name list, reproduces the dictionary
+// bit-for-bit — the property Freeze relies on to give every rebuild of
+// the same dataset identical codes.
+func TestDictRebuildDeterminismQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		stream := nameStream(seed)
+		a, b := internAll(stream), internAll(stream)
+		if !a.Equal(b) {
+			return false
+		}
+		c := FromNames(a.Names())
+		return a.Equal(c) && c.Len() == a.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDictFreezeDeterminismAcrossDatasetRebuilds: two Freezes of the
+// same dataset hand out identical dictionaries and identical codes in
+// the value columns (the dataset-level dictionary determinism the
+// satellite property demands).
+func TestDictFreezeDeterminismAcrossDatasetRebuilds(t *testing.T) {
+	f := func(seed int64) bool {
+		d := buildRandom(seed, 3+int(uint64(seed)%5), 30)
+		a, b := Freeze(d), Freeze(d)
+		for m := range a.Dicts {
+			if (a.Dicts[m] == nil) != (b.Dicts[m] == nil) {
+				return false
+			}
+			if a.Dicts[m] != nil && !a.Dicts[m].Equal(b.Dicts[m]) {
+				return false
+			}
+		}
+		if len(a.VC) != len(b.VC) {
+			return false
+		}
+		for i := range a.VC {
+			if a.VC[i] != b.VC[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromNamesPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name accepted")
+		}
+	}()
+	FromNames([]string{"a", "b", "a"})
+}

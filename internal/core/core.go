@@ -9,22 +9,22 @@
 // alternating a source-weight update (Step I, solved by a reg.Scheme) with
 // a per-entry truth update (Step II, solved by the loss functions' argmin
 // rules) until the objective stabilizes.
+//
+// The solver's hot loops run on a frozen columnar view of the dataset
+// (internal/col) built once per run — or once per Prepared when the same
+// dataset is solved repeatedly — so steady-state iterations perform no
+// allocations and touch only flat, contiguous slices.
 package core
 
 import (
 	"errors"
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/loss"
 	"github.com/crhkit/crh/internal/obs"
 	"github.com/crhkit/crh/internal/reg"
-	"github.com/crhkit/crh/internal/stats"
 )
 
 // Config controls a CRH run. The zero value selects the paper's defaults:
@@ -191,601 +191,14 @@ func validateGroups(groups [][]int, numProps int) error {
 // Run executes CRH on d. It is deterministic for a given dataset and
 // configuration, and its output is bit-for-bit identical for every
 // Workers setting (see Config.Workers and docs/PARALLEL.md).
+//
+// Run freezes the dataset's columnar view first; callers solving the
+// same dataset repeatedly should Prepare once and call Prepared.Run.
 func Run(d *data.Dataset, cfg Config) (*Result, error) {
 	if d.NumSources() == 0 || d.NumEntries() == 0 {
 		return nil, ErrEmptyDataset
 	}
-	cfg = cfg.withDefaults()
-	if cfg.PropertyGroups != nil {
-		if err := validateGroups(cfg.PropertyGroups, d.NumProps()); err != nil {
-			return nil, err
-		}
-	}
-	s := newSolver(d, cfg)
-
-	// Initialization: either the caller's truths or one truth update
-	// under uniform weights — the Voting/Averaging start the paper
-	// recommends (Section 2.5, "Initialization").
-	if cfg.InitTruths != nil {
-		s.truths = cfg.InitTruths.Clone()
-		s.pinKnown()
-	} else {
-		s.setUniformWeights()
-		s.updateTruths(false)
-	}
-
-	res := &Result{}
-	tracing := cfg.Trace != nil
-	prevObj := math.Inf(1)
-	for it := 0; it < cfg.MaxIters; it++ {
-		t0 := time.Now()
-		s.updateWeights()
-		weightWorkers := s.lastWorkers
-		tW := time.Now()
-		changes := s.updateTruths(tracing)
-		truthWorkers := s.lastWorkers
-		tT := time.Now()
-		obj := s.objective()
-		tO := time.Now()
-		res.Objective = append(res.Objective, obj)
-		res.IterTime = append(res.IterTime, tO.Sub(t0))
-		res.Iterations = it + 1
-		if !math.IsInf(prevObj, 1) {
-			denom := math.Abs(prevObj)
-			if denom < 1e-12 {
-				denom = 1e-12
-			}
-			if (prevObj-obj)/denom < cfg.Tol {
-				res.Converged = true
-			}
-		}
-		prevObj = obj
-		if tracing {
-			cfg.Trace.TraceIteration(obs.IterationTrace{
-				Iteration:      it + 1,
-				Objective:      obj,
-				WeightPhase:    tW.Sub(t0),
-				TruthPhase:     tT.Sub(tW),
-				ObjectivePhase: tO.Sub(tT),
-				TruthChanges:   changes,
-				WeightWorkers:  weightWorkers,
-				TruthWorkers:   truthWorkers,
-				Weights:        obs.SummarizeWeights(s.weights[0]),
-				Converged:      res.Converged,
-			})
-		}
-		if res.Converged {
-			break
-		}
-	}
-	res.Truths = s.truths
-	res.Weights = s.weights[0]
-	if cfg.PropertyGroups != nil {
-		res.GroupWeights = s.weights
-	}
-	if cfg.ComputeConfidence {
-		res.Confidence = s.confidence()
-	}
-	return res, nil
-}
-
-// solver carries the mutable state of one run.
-type solver struct {
-	d       *data.Dataset
-	cfg     Config
-	workers int
-	pool    *Pool
-	// scratches recycles per-goroutine gather buffers across parallel
-	// regions; the sequential path reuses a single solver-owned scratch.
-	scratches sync.Pool
-	// lastWorkers records the worker budget engaged by the most recent
-	// parallel region — the per-phase count the solver trace reports.
-	lastWorkers int
-
-	truths *data.Table
-	// weights[g][k] is source k's weight for property group g; the
-	// default configuration has a single group.
-	weights [][]float64
-	// groupOf[m] is property m's group index.
-	groupOf []int
-	// dists caches the per-entry category distribution for probabilistic
-	// categorical losses (nil entries for hard losses / continuous).
-	dists [][]float64
-	// entryStd caches the spread of each continuous entry's observations
-	// for loss normalization.
-	entryStd []float64
-
-	// scratch buffers for the sequential path, reused across entries.
-	vals, ws []float64
-	cats     []int
-	srcs     []int
-}
-
-// scratch holds one worker's reusable per-entry buffers.
-type scratch struct {
-	vals, ws []float64
-	cats     []int
-}
-
-// effectiveWorkers returns the worker budget actually engaged for this
-// dataset: the configured budget clamped to the shard count (extra
-// workers would have nothing to claim).
-func (s *solver) effectiveWorkers() int {
-	w := s.workers
-	if nsh := numShards(s.d.NumEntries()); w > nsh {
-		w = nsh
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
-// forShards runs fn once per shard of the entry range, in parallel up to
-// the solver's worker budget. Shard boundaries depend only on the entry
-// count (see numShards), and fn receives the shard index so per-shard
-// partial results can be merged in shard order afterwards — the two
-// properties that make every worker count produce bit-identical output.
-// Shards are claimed dynamically (work stealing) which is safe precisely
-// because the merge happens by shard index, not by completion order.
-func (s *solver) forShards(fn func(sc *scratch, sh, lo, hi int)) {
-	n := s.d.NumEntries()
-	nsh := numShards(n)
-	w := s.effectiveWorkers()
-	s.lastWorkers = w
-	if w <= 1 {
-		sc := s.getScratch()
-		for sh := 0; sh < nsh; sh++ {
-			lo, hi := shardBounds(n, sh, nsh)
-			fn(sc, sh, lo, hi)
-		}
-		s.putScratch(sc)
-		return
-	}
-	task := func(sh int) {
-		sc := s.getScratch()
-		lo, hi := shardBounds(n, sh, nsh)
-		fn(sc, sh, lo, hi)
-		s.putScratch(sc)
-	}
-	if s.pool != nil {
-		s.pool.Do(nsh, w, task)
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				sh := int(next.Add(1) - 1)
-				if sh >= nsh {
-					return
-				}
-				task(sh)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// getScratch and putScratch recycle gather buffers across shards and
-// parallel regions.
-func (s *solver) getScratch() *scratch {
-	if sc, ok := s.scratches.Get().(*scratch); ok {
-		return sc
-	}
-	return &scratch{}
-}
-
-func (s *solver) putScratch(sc *scratch) { s.scratches.Put(sc) }
-
-// gatherInto collects entry e's observations into sc, returning the
-// number of observers. Runs once per entry per iteration; the scratch
-// buffers amortize to zero steady-state allocations.
-//
-//crh:hotpath
-func (s *solver) gatherInto(sc *scratch, e int, categorical bool) int {
-	sc.vals, sc.ws, sc.cats = sc.vals[:0], sc.ws[:0], sc.cats[:0]
-	gw := s.weights[s.groupOf[s.d.EntryProp(e)]]
-	//lint:ignore hotpath the callback captures the scratch it amortizes into — appends refill buffers reset to [:0] above, and ForEntry cannot retain the closure
-	s.d.ForEntry(e, func(k int, v data.Value) {
-		if categorical {
-			sc.cats = append(sc.cats, int(v.C))
-		} else {
-			sc.vals = append(sc.vals, v.F)
-		}
-		sc.ws = append(sc.ws, gw[k])
-	})
-	return len(sc.ws)
-}
-
-func newSolver(d *data.Dataset, cfg Config) *solver {
-	s := &solver{
-		d:        d,
-		cfg:      cfg,
-		workers:  cfg.Workers,
-		pool:     cfg.Pool,
-		truths:   data.NewTableFor(d),
-		groupOf:  make([]int, d.NumProps()),
-		dists:    make([][]float64, d.NumEntries()),
-		entryStd: make([]float64, d.NumEntries()),
-	}
-	if s.workers == 0 {
-		s.workers = runtime.GOMAXPROCS(0)
-	}
-	nGroups := 1
-	if cfg.PropertyGroups != nil {
-		nGroups = len(cfg.PropertyGroups)
-		for gi, g := range cfg.PropertyGroups {
-			for _, m := range g {
-				s.groupOf[m] = gi
-			}
-		}
-	}
-	s.weights = make([][]float64, nGroups)
-	for g := range s.weights {
-		s.weights[g] = make([]float64, d.NumSources())
-	}
-	// Precompute per-entry standard deviations for continuous entries
-	// (Eq 13/15 normalize by the spread of the entry's observations).
-	for e := 0; e < d.NumEntries(); e++ {
-		if d.Prop(d.EntryProp(e)).Type != data.Continuous {
-			continue
-		}
-		s.vals = s.vals[:0]
-		d.ForEntry(e, func(_ int, v data.Value) {
-			s.vals = append(s.vals, v.F)
-		})
-		s.entryStd[e] = stats.Std(s.vals)
-	}
-	return s
-}
-
-// setUniformWeights resets every (group, source) weight to 1.
-func (s *solver) setUniformWeights() {
-	for g := range s.weights {
-		for k := range s.weights[g] {
-			s.weights[g][k] = 1
-		}
-	}
-}
-
-// pinKnown overwrites entries whose truths are supplied (semi-supervised
-// operation). Pinned entries still contribute to source losses.
-func (s *solver) pinKnown() {
-	if s.cfg.KnownTruths == nil {
-		return
-	}
-	s.cfg.KnownTruths.ForEach(func(e int, v data.Value) {
-		s.truths.Set(e, v)
-		// Hard truths have no soft distribution; probabilistic losses
-		// degrade to 0-1 behaviour on pinned entries.
-		s.dists[e] = nil
-	})
-}
-
-// gather collects entry e's observations into the scratch buffers.
-// Returns the number of observers.
-func (s *solver) gather(e int, categorical bool) int {
-	s.vals, s.ws, s.cats, s.srcs = s.vals[:0], s.ws[:0], s.cats[:0], s.srcs[:0]
-	gw := s.weights[s.groupOf[s.d.EntryProp(e)]]
-	s.d.ForEntry(e, func(k int, v data.Value) {
-		if categorical {
-			s.cats = append(s.cats, int(v.C))
-		} else {
-			s.vals = append(s.vals, v.F)
-		}
-		s.ws = append(s.ws, gw[k])
-		s.srcs = append(s.srcs, k)
-	})
-	return len(s.ws)
-}
-
-// updateTruths performs Step II: per-entry argmin under current weights,
-// parallelized across entries (each entry's truth is independent).
-// Entries pinned by KnownTruths are left untouched.
-//
-// When countChanges is set (only while a Trace is installed) it returns
-// the number of entries whose truth estimate moved this pass; otherwise
-// it returns 0 without comparing, keeping the untraced path free of the
-// extra table reads.
-func (s *solver) updateTruths(countChanges bool) int {
-	d := s.d
-	var perShard []int
-	if countChanges {
-		perShard = make([]int, numShards(d.NumEntries()))
-	}
-	s.forShards(func(sc *scratch, sh, lo, hi int) {
-		for e := lo; e < hi; e++ {
-			if s.cfg.KnownTruths != nil && s.cfg.KnownTruths.Has(e) {
-				v, _ := s.cfg.KnownTruths.Get(e)
-				s.truths.Set(e, v)
-				s.dists[e] = nil
-				continue
-			}
-			nv, ok := s.resolveEntry(sc, e)
-			if !ok {
-				continue
-			}
-			if countChanges {
-				p := d.Prop(d.EntryProp(e))
-				if old, ok := s.truths.Get(e); !ok || truthChanged(p.Type, old, nv) {
-					perShard[sh]++
-				}
-			}
-			s.truths.Set(e, nv)
-		}
-	})
-	var changes int
-	for _, c := range perShard {
-		changes += c
-	}
-	return changes
-}
-
-// resolveEntry performs the Step II argmin for one unpinned entry:
-// gather its observations under the current weights, then let the
-// configured loss pick the minimizing estimate (Eq 7/9). ok is false
-// when nobody observed the entry. This is the truth-update inner loop —
-// it runs once per entry per iteration, and //crh:hotpath holds it and
-// everything it calls to zero steady-state allocations.
-//
-//crh:hotpath
-func (s *solver) resolveEntry(sc *scratch, e int) (data.Value, bool) {
-	p := s.d.Prop(s.d.EntryProp(e))
-	if p.Type == data.Categorical {
-		if s.gatherInto(sc, e, true) == 0 {
-			return data.Value{}, false
-		}
-		t, dist := s.cfg.CategoricalLoss.Truth(sc.cats, sc.ws, p)
-		s.dists[e] = dist
-		return data.Cat(t), true
-	}
-	if s.gatherInto(sc, e, false) == 0 {
-		return data.Value{}, false
-	}
-	return data.Float(s.cfg.ContinuousLoss.Truth(sc.vals, sc.ws)), true
-}
-
-// truthChanged reports whether a truth update moved an entry's estimate:
-// a different label for categorical entries, a shift beyond 1e-12 for
-// continuous ones (exact float equality would misreport rounding noise).
-func truthChanged(t data.Type, old, nv data.Value) bool {
-	if t == data.Categorical {
-		return old.C != nv.C
-	}
-	return math.Abs(old.F-nv.F) > 1e-12
-}
-
-// accumulateShard folds entries [lo, hi) into the given partial loss
-// matrices: each source's deviation from the current truth of every
-// entry it observed (Eq 5/6). It is the per-shard unit of Step I's
-// deviation accumulation, shared by sourceLosses' sequential and
-// parallel paths, and the weight-update inner loop — //crh:hotpath
-// holds it and everything it calls to zero steady-state allocations.
-//
-//crh:hotpath
-func (s *solver) accumulateShard(lsum [][]float64, lcnt [][]int, lo, hi int) {
-	d := s.d
-	for e := lo; e < hi; e++ {
-		truth, ok := s.truths.Get(e)
-		if !ok {
-			continue
-		}
-		m := d.EntryProp(e)
-		p := d.Prop(m)
-		if p.Type == data.Categorical {
-			dist := s.dists[e]
-			//lint:ignore hotpath the callback closes over per-entry loop state; ForEntry iterates a slice in place and cannot retain the closure
-			d.ForEntry(e, func(k int, v data.Value) {
-				lsum[k][m] += s.cfg.CategoricalLoss.Deviation(int(truth.C), dist, int(v.C), p)
-				lcnt[k][m]++
-			})
-		} else {
-			std := s.entryStd[e]
-			//lint:ignore hotpath the callback closes over per-entry loop state; ForEntry iterates a slice in place and cannot retain the closure
-			d.ForEntry(e, func(k int, v data.Value) {
-				lsum[k][m] += s.cfg.ContinuousLoss.Deviation(truth.F, v.F, std)
-				lcnt[k][m]++
-			})
-		}
-	}
-}
-
-// sourceLosses computes the per-group per-source losses feeding Step I:
-// each source's deviation from the current truths, averaged per
-// observation within each property (unless disabled), rescaled per
-// property so different loss scales are comparable (unless disabled),
-// then averaged across the properties the source observed within each
-// group. The second result is each source's observation count per group,
-// consumed by count-aware weight schemes (reg.CountScheme).
-func (s *solver) sourceLosses() ([][]float64, [][]int) {
-	d := s.d
-	K, M := d.NumSources(), d.NumProps()
-	sum := make([][]float64, K) // [k][m] total deviation
-	cnt := make([][]int, K)     // [k][m] observation count
-	for k := 0; k < K; k++ {
-		sum[k] = make([]float64, M)
-		cnt[k] = make([]int, M)
-	}
-	merge := func(lsum [][]float64, lcnt [][]int) {
-		for k := 0; k < K; k++ {
-			for m := 0; m < M; m++ {
-				sum[k][m] += lsum[k][m]
-				cnt[k][m] += lcnt[k][m]
-			}
-		}
-	}
-
-	// Both paths compute one partial matrix per shard and merge partials
-	// in ascending shard order. Shard boundaries depend only on the entry
-	// count, so the summation order — and therefore every output bit —
-	// is identical for any worker budget, pool, or scheduling. The
-	// sequential path reuses a single partial matrix, zeroed per shard;
-	// the additions it performs are exactly the parallel merge's.
-	n := d.NumEntries()
-	nsh := numShards(n)
-	if s.effectiveWorkers() <= 1 {
-		s.lastWorkers = 1
-		lsum := make([][]float64, K)
-		lcnt := make([][]int, K)
-		for k := 0; k < K; k++ {
-			lsum[k] = make([]float64, M)
-			lcnt[k] = make([]int, M)
-		}
-		for sh := 0; sh < nsh; sh++ {
-			for k := 0; k < K; k++ {
-				clear(lsum[k])
-				clear(lcnt[k])
-			}
-			lo, hi := shardBounds(n, sh, nsh)
-			s.accumulateShard(lsum, lcnt, lo, hi)
-			merge(lsum, lcnt)
-		}
-	} else {
-		partSum := make([][][]float64, nsh)
-		partCnt := make([][][]int, nsh)
-		s.forShards(func(_ *scratch, sh, lo, hi int) {
-			lsum := make([][]float64, K)
-			lcnt := make([][]int, K)
-			for k := 0; k < K; k++ {
-				lsum[k] = make([]float64, M)
-				lcnt[k] = make([]int, M)
-			}
-			s.accumulateShard(lsum, lcnt, lo, hi)
-			partSum[sh], partCnt[sh] = lsum, lcnt
-		})
-		for sh := 0; sh < nsh; sh++ {
-			merge(partSum[sh], partCnt[sh])
-		}
-	}
-
-	groups := s.cfg.PropertyGroups
-	if groups == nil {
-		counts := [][]int{make([]int, K)}
-		for k := 0; k < K; k++ {
-			for m := 0; m < M; m++ {
-				counts[0][k] += cnt[k][m]
-			}
-		}
-		return [][]float64{CombineLossMatrix(sum, cnt, s.cfg)}, counts
-	}
-	// Per group: combine only the group's property columns.
-	losses := make([][]float64, len(groups))
-	counts := make([][]int, len(groups))
-	for gi, g := range groups {
-		gsum := make([][]float64, K)
-		gcnt := make([][]int, K)
-		counts[gi] = make([]int, K)
-		for k := 0; k < K; k++ {
-			gsum[k] = make([]float64, len(g))
-			gcnt[k] = make([]int, len(g))
-			for j, m := range g {
-				gsum[k][j] = sum[k][m]
-				gcnt[k][j] = cnt[k][m]
-				counts[gi][k] += cnt[k][m]
-			}
-		}
-		losses[gi] = CombineLossMatrix(gsum, gcnt, s.cfg)
-	}
-	return losses, counts
-}
-
-// updateWeights performs Step I under the configured scheme, once per
-// property group. Count-aware schemes additionally receive each source's
-// per-group observation count.
-func (s *solver) updateWeights() {
-	losses, counts := s.sourceLosses()
-	cs, countAware := s.cfg.Scheme.(reg.CountScheme)
-	for g, l := range losses {
-		if countAware {
-			s.weights[g] = cs.WeightsWithCounts(l, counts[g])
-		} else {
-			s.weights[g] = s.cfg.Scheme.Weights(l)
-		}
-	}
-}
-
-// objective evaluates Σ_g Σ_k w_gk · L_gk with the solver's normalized
-// per-source losses — the quantity whose stabilization we use as the
-// convergence criterion.
-func (s *solver) objective() float64 {
-	losses, _ := s.sourceLosses()
-	var f float64
-	for g, gl := range losses {
-		for k, l := range gl {
-			f += s.weights[g][k] * l
-		}
-	}
-	return f
-}
-
-// confidence computes each resolved entry's weighted support: the share
-// of the observers' total weight backing the chosen truth (categorical:
-// exact agreement; continuous: within one entry-spread). A unanimous
-// entry scores 1; an entry carried by a narrow weighted majority scores
-// near the majority's share.
-func (s *solver) confidence() []float64 {
-	d := s.d
-	conf := make([]float64, d.NumEntries())
-	s.forShards(func(_ *scratch, _, lo, hi int) {
-		for e := lo; e < hi; e++ {
-			truth, ok := s.truths.Get(e)
-			if !ok {
-				continue
-			}
-			m := d.EntryProp(e)
-			p := d.Prop(m)
-			gw := s.weights[s.groupOf[m]]
-			var support, total float64
-			if p.Type == data.Categorical {
-				d.ForEntry(e, func(k int, v data.Value) {
-					total += gw[k]
-					if v.C == truth.C {
-						support += gw[k]
-					}
-				})
-			} else {
-				std := stdGuardLocal(s.entryStd[e])
-				d.ForEntry(e, func(k int, v data.Value) {
-					total += gw[k]
-					if math.Abs(v.F-truth.F) <= std {
-						support += gw[k]
-					}
-				})
-			}
-			if total > 0 {
-				conf[e] = support / total
-			} else if d.EntryObservers(e) > 0 {
-				// All observers carry zero weight: fall back to the
-				// unweighted share.
-				var n, agree float64
-				d.ForEntry(e, func(_ int, v data.Value) {
-					n++
-					if p.Type == data.Categorical {
-						if v.C == truth.C {
-							agree++
-						}
-					} else if math.Abs(v.F-truth.F) <= stdGuardLocal(s.entryStd[e]) {
-						agree++
-					}
-				})
-				conf[e] = agree / n
-			}
-		}
-	})
-	return conf
-}
-
-// stdGuardLocal floors a spread for the confidence band, mirroring the
-// loss package's normalizer guard.
-func stdGuardLocal(std float64) float64 {
-	if std < 1e-12 {
-		return 1e-12
-	}
-	return std
+	return Prepare(d).Run(cfg)
 }
 
 // AggregateTruths performs a single truth-update pass (Step II) under the
@@ -793,12 +206,7 @@ func stdGuardLocal(std float64) float64 {
 // the building block the incremental (I-CRH) and MapReduce variants reuse:
 // both compute truths for a batch from externally maintained weights.
 func AggregateTruths(d *data.Dataset, weights []float64, cfg Config) *data.Table {
-	cfg = cfg.withDefaults()
-	cfg.PropertyGroups = nil // single-group helper
-	s := newSolver(d, cfg)
-	copy(s.weights[0], weights)
-	s.updateTruths(false)
-	return s.truths
+	return Prepare(d).AggregateTruths(weights, cfg)
 }
 
 // SourceLosses computes each source's aggregated, normalized loss against
@@ -809,26 +217,7 @@ func AggregateTruths(d *data.Dataset, weights []float64, cfg Config) *data.Table
 // For probabilistic categorical losses the per-entry distributions are
 // recomputed from the supplied weights before deviations are taken.
 func SourceLosses(d *data.Dataset, truths *data.Table, weights []float64, cfg Config) []float64 {
-	cfg = cfg.withDefaults()
-	cfg.PropertyGroups = nil // single-group helper
-	s := newSolver(d, cfg)
-	copy(s.weights[0], weights)
-	s.truths = truths
-	// Rebuild distributions for probabilistic categorical losses so
-	// Deviation sees them; hard losses return nil distributions.
-	for e := 0; e < d.NumEntries(); e++ {
-		p := d.Prop(d.EntryProp(e))
-		if p.Type != data.Categorical || !truths.Has(e) {
-			continue
-		}
-		if s.gather(e, true) == 0 {
-			continue
-		}
-		_, dist := s.cfg.CategoricalLoss.Truth(s.cats, s.ws, p)
-		s.dists[e] = dist
-	}
-	losses, _ := s.sourceLosses()
-	return losses[0]
+	return Prepare(d).SourceLosses(truths, weights, cfg)
 }
 
 // CombineLossMatrix collapses per-(source, property) deviation sums and
@@ -836,7 +225,9 @@ func SourceLosses(d *data.Dataset, truths *data.Table, weights []float64, cfg Co
 // weight scheme, applying the same count and property normalizations the
 // in-process solver uses. Exported so the MapReduce driver — which
 // aggregates the sums with a distributed job — produces weights identical
-// to the serial solver's.
+// to the serial solver's. The in-process solver's combineInto mirrors
+// this arithmetic operation for operation on flat columns; the two must
+// change together.
 func CombineLossMatrix(sum [][]float64, cnt [][]int, cfg Config) []float64 {
 	cfg = cfg.withDefaults()
 	K := len(sum)

@@ -1,0 +1,11 @@
+// Package col is the columnar freeze: it may depend on the dataset
+// model and nothing else inside the module.
+package col
+
+import (
+	_ "math" // stdlib is always fine
+
+	_ "github.com/crhkit/crh/internal/core" // want "internal/col must not import internal/core: the numeric substrate" "internal/col must not import internal/core: the columnar freeze depends only on the dataset model"
+	_ "github.com/crhkit/crh/internal/data"
+	_ "github.com/crhkit/crh/internal/loss" // want "internal/col must not import internal/loss: the columnar freeze depends only on the dataset model"
+)

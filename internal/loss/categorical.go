@@ -24,6 +24,22 @@ func (ZeroOne) Truth(obs []int, ws []float64, p *data.Property) (int, []float64)
 	return stats.ArgMax(votes), nil
 }
 
+// NeedsDist implements CategoricalKernel: 0-1 truths are hard decisions.
+func (ZeroOne) NeedsDist() bool { return false }
+
+// TruthCodes implements CategoricalKernel: the same weighted vote as
+// Truth, tallied into caller scratch.
+func (ZeroOne) TruthCodes(codes []uint32, ws []float64, votes, _ []float64, p *data.Property) int {
+	votes = votes[:p.NumCats()]
+	for i := range votes {
+		votes[i] = 0
+	}
+	for j, c := range codes {
+		votes[c] += ws[j]
+	}
+	return stats.ArgMax(votes)
+}
+
 // Deviation implements Categorical.
 func (ZeroOne) Deviation(truth int, _ []float64, obs int, _ *data.Property) float64 {
 	if truth == obs {
@@ -68,6 +84,38 @@ func (SquaredProb) Truth(obs []int, ws []float64, p *data.Property) (int, []floa
 		}
 	}
 	return stats.ArgMax(dist), dist
+}
+
+// NeedsDist implements CategoricalKernel: the truth is a distribution.
+func (SquaredProb) NeedsDist() bool { return true }
+
+// TruthCodes implements CategoricalKernel: Eq(12) computed into the
+// entry's persistent distribution slot instead of a fresh slice.
+func (SquaredProb) TruthCodes(codes []uint32, ws []float64, _, dist []float64, p *data.Property) int {
+	dist = dist[:p.NumCats()]
+	for i := range dist {
+		dist[i] = 0
+	}
+	var total float64
+	for j, c := range codes {
+		dist[c] += ws[j]
+		total += ws[j]
+	}
+	if total > 0 {
+		for i := range dist {
+			dist[i] /= total
+		}
+	} else if len(codes) > 0 {
+		// Zero total weight: fall back to an unweighted distribution.
+		u := 1 / float64(len(codes))
+		for i := range dist {
+			dist[i] = 0
+		}
+		for _, c := range codes {
+			dist[c] += u
+		}
+	}
+	return stats.ArgMax(dist)
 }
 
 // Deviation implements Categorical: ‖I* − I_obs‖² where I* is the truth

@@ -34,6 +34,12 @@ func (NormalizedSquared) Truth(vals, ws []float64) float64 {
 	return stats.WeightedMean(vals, ws)
 }
 
+// TruthBuf implements ContinuousKernel: the weighted mean needs no
+// scratch; it is already allocation-free.
+func (NormalizedSquared) TruthBuf(vals, ws, _, _ []float64) float64 {
+	return stats.WeightedMean(vals, ws)
+}
+
 // Deviation implements Continuous.
 func (NormalizedSquared) Deviation(truth, obs, std float64) float64 {
 	d := truth - obs
@@ -55,6 +61,11 @@ func (NormalizedAbsolute) Name() string { return "absolute" }
 // O(n) quickselect (the solver's hottest path on continuous data).
 func (NormalizedAbsolute) Truth(vals, ws []float64) float64 {
 	return stats.WeightedMedianFast(vals, ws)
+}
+
+// TruthBuf implements ContinuousKernel: quickselect into caller scratch.
+func (NormalizedAbsolute) TruthBuf(vals, ws, vbuf, wbuf []float64) float64 {
+	return stats.WeightedMedianBuf(vals, ws, vbuf, wbuf)
 }
 
 // Deviation implements Continuous.

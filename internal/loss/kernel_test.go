@@ -1,0 +1,131 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The kernel interfaces promise bit-identity with the allocating API:
+// TruthBuf/TruthCodes must return exactly the bits Truth returns, on any
+// input, including degenerate weights. These tests drive both paths over
+// seeded random cases and compare Float64bits.
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestContinuousKernelBitIdentity(t *testing.T) {
+	kernels := []ContinuousKernel{NormalizedAbsolute{}, NormalizedSquared{}}
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range kernels {
+		t.Run(k.Name(), func(t *testing.T) {
+			for trial := 0; trial < 500; trial++ {
+				n := 1 + rng.Intn(12)
+				vals := make([]float64, n)
+				ws := make([]float64, n)
+				for i := range vals {
+					// Coarse quantization provokes the duplicate-value and
+					// numerical-tie paths (the fast median's fallback).
+					vals[i] = math.Round(rng.NormFloat64() * 4)
+					ws[i] = math.Round(rng.Float64()*8) / 4
+				}
+				if trial%7 == 0 {
+					for i := range ws {
+						ws[i] = 0 // zero total weight path
+					}
+				}
+				vbuf, wbuf := make([]float64, n), make([]float64, n)
+				want := k.Truth(vals, ws)
+				got := k.TruthBuf(vals, ws, vbuf, wbuf)
+				if !bitsEqual(want, got) {
+					t.Fatalf("trial %d: TruthBuf %v, Truth %v (vals=%v ws=%v)", trial, got, want, vals, ws)
+				}
+				// Dirty scratch must not leak into the result.
+				for i := range vbuf {
+					vbuf[i], wbuf[i] = math.NaN(), math.NaN()
+				}
+				if got := k.TruthBuf(vals, ws, vbuf, wbuf); !bitsEqual(want, got) {
+					t.Fatalf("trial %d: dirty scratch changed the result: %v vs %v", trial, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCategoricalKernelBitIdentity(t *testing.T) {
+	p := catProp(t, "a", "b", "c", "d", "e")
+	kernels := []CategoricalKernel{ZeroOne{}, SquaredProb{}}
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range kernels {
+		t.Run(k.Name(), func(t *testing.T) {
+			nc := p.NumCats()
+			for trial := 0; trial < 500; trial++ {
+				n := 1 + rng.Intn(10)
+				obs := make([]int, n)
+				codes := make([]uint32, n)
+				ws := make([]float64, n)
+				for i := range obs {
+					obs[i] = rng.Intn(nc)
+					codes[i] = uint32(obs[i])
+					ws[i] = math.Round(rng.Float64()*8) / 4
+				}
+				if trial%5 == 0 {
+					for i := range ws {
+						ws[i] = 0 // zero total weight: unweighted fallback
+					}
+				}
+				votes := make([]float64, nc)
+				var dist []float64
+				if k.NeedsDist() {
+					dist = make([]float64, nc)
+				}
+				// Seed the scratch with garbage: kernels must fully overwrite.
+				for i := range votes {
+					votes[i] = math.NaN()
+				}
+				for i := range dist {
+					dist[i] = math.NaN()
+				}
+				wantTruth, wantDist := k.Truth(obs, ws, p)
+				gotTruth := k.TruthCodes(codes, ws, votes, dist, p)
+				if gotTruth != wantTruth {
+					t.Fatalf("trial %d: TruthCodes %d, Truth %d (obs=%v ws=%v)", trial, gotTruth, wantTruth, obs, ws)
+				}
+				if k.NeedsDist() != (wantDist != nil) {
+					t.Fatalf("NeedsDist %t but Truth returned dist %v", k.NeedsDist(), wantDist)
+				}
+				for i := range wantDist {
+					if !bitsEqual(wantDist[i], dist[i]) {
+						t.Fatalf("trial %d: dist[%d] = %v, want %v", trial, i, dist[i], wantDist[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelInterfaceCoverage pins which losses expose kernels: the
+// defaults must (the solver's zero-allocation guarantee rests on them),
+// and the deliberately-fallback losses must not silently grow one
+// without the bit-identity suite learning about it.
+func TestKernelInterfaceCoverage(t *testing.T) {
+	if _, ok := interface{}(NormalizedAbsolute{}).(ContinuousKernel); !ok {
+		t.Error("NormalizedAbsolute must implement ContinuousKernel")
+	}
+	if _, ok := interface{}(NormalizedSquared{}).(ContinuousKernel); !ok {
+		t.Error("NormalizedSquared must implement ContinuousKernel")
+	}
+	if _, ok := interface{}(ZeroOne{}).(CategoricalKernel); !ok {
+		t.Error("ZeroOne must implement CategoricalKernel")
+	}
+	if _, ok := interface{}(SquaredProb{}).(CategoricalKernel); !ok {
+		t.Error("SquaredProb must implement CategoricalKernel")
+	}
+	if _, ok := interface{}(Huber{}).(ContinuousKernel); ok {
+		t.Error("Huber grew a kernel: add it to the bit-identity suite")
+	}
+	if _, ok := interface{}(EditDistance{}).(CategoricalKernel); ok {
+		t.Error("EditDistance grew a kernel: add it to the bit-identity suite")
+	}
+}

@@ -28,6 +28,41 @@ type Continuous interface {
 	Deviation(truth, obs, std float64) float64
 }
 
+// ContinuousKernel is the allocation-free fast path of a Continuous
+// loss. The columnar solver detects it once per run and hands every
+// truth update caller-owned scratch; losses without a kernel fall back
+// to Truth, which may allocate. Implementations must return exactly the
+// bits Truth returns — the kernel is a performance contract, never a
+// semantic one.
+type ContinuousKernel interface {
+	Continuous
+	// TruthBuf is Truth with scratch: vbuf and wbuf (each of length
+	// ≥ len(vals)) are caller-owned working buffers the kernel may
+	// overwrite. vals and ws are read-only.
+	TruthBuf(vals, ws, vbuf, wbuf []float64) float64
+}
+
+// CategoricalKernel is the allocation-free fast path of a Categorical
+// loss, operating directly on interned category codes from the columnar
+// claim index (codes are identical to the property's category indices,
+// so tie-breaking is unchanged). Implementations must make TruthCodes
+// bit-identical to Truth.
+type CategoricalKernel interface {
+	Categorical
+	// NeedsDist reports whether TruthCodes fills a per-entry truth
+	// distribution. When false the solver passes dist == nil and skips
+	// the distribution arena entirely.
+	NeedsDist() bool
+	// TruthCodes is Truth over interned codes: codes[j] is the jth
+	// observer's category code and ws[j] its source weight. votes is
+	// transient scratch (length ≥ p.NumCats(), contents arbitrary,
+	// clobbered). dist, when NeedsDist, is the entry's persistent
+	// distribution storage (length p.NumCats()); the kernel overwrites
+	// it with the same values Truth would have returned. The returned
+	// truth is the winning category index.
+	TruthCodes(codes []uint32, ws []float64, votes, dist []float64, p *data.Property) int
+}
+
 // Categorical is a loss over discrete-valued properties. Observations and
 // truths are category indices into the property's dictionary.
 type Categorical interface {

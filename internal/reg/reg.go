@@ -22,6 +22,18 @@ type Scheme interface {
 	Weights(losses []float64) []float64
 }
 
+// InPlaceScheme is the allocation-free fast path of a Scheme: the
+// columnar solver detects it once per run and reuses one weight buffer
+// across iterations instead of taking a fresh slice from Weights each
+// time. WeightsInto must write exactly the bits Weights would return;
+// schemes without it fall back to Weights, which allocates.
+type InPlaceScheme interface {
+	Scheme
+	// WeightsInto writes Weights(losses) into dst, which has length
+	// len(losses).
+	WeightsInto(dst, losses []float64)
+}
+
 // relFloor guards −log against zero losses: a source whose loss is exactly
 // zero (it agrees with every current truth) would otherwise get an infinite
 // weight. Losses are floored at a small fraction of the normalizer.
@@ -46,6 +58,11 @@ func (ExpSum) Weights(losses []float64) []float64 {
 	return negLog(losses, stats.Sum(losses))
 }
 
+// WeightsInto implements InPlaceScheme.
+func (ExpSum) WeightsInto(dst, losses []float64) {
+	negLogInto(dst, losses, stats.Sum(losses))
+}
+
 // ExpMax is the paper's preferred variant of ExpSum (Section 2.3): the
 // normalization factor is the maximum per-source loss rather than the sum,
 // which spreads the weights further apart so reliable sources dominate:
@@ -66,14 +83,25 @@ func (ExpMax) Weights(losses []float64) []float64 {
 	return negLog(losses, max)
 }
 
+// WeightsInto implements InPlaceScheme.
+func (ExpMax) WeightsInto(dst, losses []float64) {
+	_, max := stats.MinMax(losses)
+	negLogInto(dst, losses, max)
+}
+
 func negLog(losses []float64, norm float64) []float64 {
 	ws := make([]float64, len(losses))
+	negLogInto(ws, losses, norm)
+	return ws
+}
+
+func negLogInto(dst, losses []float64, norm float64) {
 	if norm <= 0 {
 		// Every source agrees with the truths: uniform weights.
-		for k := range ws {
-			ws[k] = 1
+		for k := range dst {
+			dst[k] = 1
 		}
-		return ws
+		return
 	}
 	floor := norm * relFloor
 	for k, l := range losses {
@@ -84,9 +112,8 @@ func negLog(losses []float64, norm float64) []float64 {
 		if w <= 0 {
 			w = 0 // normalizes −0 (l == norm) and rounding artifacts to +0
 		}
-		ws[k] = w
+		dst[k] = w
 	}
-	return ws
 }
 
 // BestSource is the L^p-norm regularization of Eq(6): for any p ≥ 1 the

@@ -173,3 +173,51 @@ func TestNames(t *testing.T) {
 		t.Error("schemes must be named")
 	}
 }
+
+// TestWeightsIntoBitIdentity: the in-place schemes must write exactly
+// the bits their allocating Weights return, whatever garbage the
+// destination held.
+func TestWeightsIntoBitIdentity(t *testing.T) {
+	schemes := []InPlaceScheme{ExpMax{}, ExpSum{}}
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range schemes {
+		for trial := 0; trial < 500; trial++ {
+			k := 1 + rng.Intn(12)
+			losses := make([]float64, k)
+			for i := range losses {
+				losses[i] = math.Round(rng.Float64()*16) / 4
+			}
+			if trial%6 == 0 {
+				for i := range losses {
+					losses[i] = 0 // all-agree path: uniform weights
+				}
+			}
+			want := s.Weights(losses)
+			dst := make([]float64, k)
+			for i := range dst {
+				dst[i] = math.NaN()
+			}
+			s.WeightsInto(dst, losses)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(dst[i]) {
+					t.Fatalf("%s trial %d: dst[%d] = %v, want %v (losses=%v)", s.Name(), trial, i, dst[i], want[i], losses)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightsIntoAllocFree pins the zero-allocation contract of the
+// in-place path.
+func TestWeightsIntoAllocFree(t *testing.T) {
+	losses := []float64{0.5, 1.25, 0.75, 2, 0.1, 0.9}
+	dst := make([]float64, len(losses))
+	for _, s := range []InPlaceScheme{ExpMax{}, ExpSum{}} {
+		allocs := testing.AllocsPerRun(100, func() {
+			s.WeightsInto(dst, losses)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s.WeightsInto allocates %.0f objects per call, want 0", s.Name(), allocs)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/crhkit/crh/internal/core"
 	"github.com/crhkit/crh/internal/data"
 	"github.com/crhkit/crh/internal/stream"
 	"github.com/crhkit/crh/internal/wal"
@@ -30,6 +31,20 @@ type Snapshot struct {
 	Data *data.Dataset
 	// GT is the ground truth loaded with the dataset, nil when none.
 	GT *data.Table
+
+	// prepared lazily freezes Data's columnar solver view on the first
+	// CRH resolve and shares it with every later resolve of this
+	// snapshot — the freeze is paid once per ingested version, not once
+	// per request.
+	prepOnce sync.Once
+	prepared *core.Prepared
+}
+
+// Prepared returns the snapshot's frozen columnar view, building it on
+// first use. Safe for concurrent resolves: core.Prepared is immutable.
+func (s *Snapshot) Prepared() *core.Prepared {
+	s.prepOnce.Do(func() { s.prepared = core.Prepare(s.Data) })
+	return s.prepared
 }
 
 // obsRec is one observation in an entry's append-only log — the canonical

@@ -491,7 +491,7 @@ func compute(name string, snap *Snapshot, req *ResolveRequest, method baseline.M
 			return nil, err
 		}
 		cfg.Workers, cfg.Pool = workers, pool
-		res, err := core.Run(d, cfg)
+		res, err := snap.Prepared().Run(cfg)
 		if err != nil {
 			return nil, err
 		}

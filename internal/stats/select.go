@@ -10,23 +10,41 @@ package stats
 // the expected linear bound on the already-sorted and reverse-sorted
 // inputs simulators tend to produce. xs and ws are not modified.
 func WeightedMedianFast(xs, ws []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		if len(ws) != 0 {
+			panic("stats: WeightedMedianFast length mismatch")
+		}
+		return 0
+	}
+	return WeightedMedianBuf(xs, ws, make([]float64, n), make([]float64, n))
+}
+
+// WeightedMedianBuf is WeightedMedianFast with caller-owned scratch:
+// vbuf and wbuf (each of length ≥ len(xs)) hold the partitioned working
+// copies, so steady-state callers allocate nothing. The arithmetic — and
+// therefore every returned bit — is identical to WeightedMedianFast; the
+// rare numerical-tie fallback still rescans xs and ws in their original
+// order, which is why the inputs are copied rather than permuted in
+// place. xs and ws are not modified.
+func WeightedMedianBuf(xs, ws, vbuf, wbuf []float64) float64 {
 	if len(xs) != len(ws) {
-		panic("stats: WeightedMedianFast length mismatch")
+		panic("stats: WeightedMedianBuf length mismatch")
 	}
 	n := len(xs)
 	if n == 0 {
 		return 0
 	}
-	vals := make([]float64, 0, n)
-	wts := make([]float64, 0, n)
+	vals := vbuf[:n]
+	wts := wbuf[:n]
 	var total float64
 	for i := range xs {
 		w := ws[i]
 		if w < 0 {
 			w = 0
 		}
-		vals = append(vals, xs[i])
-		wts = append(wts, w)
+		vals[i] = xs[i]
+		wts[i] = w
 		total += w
 	}
 	if total == 0 {

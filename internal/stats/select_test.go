@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -129,4 +130,70 @@ func benchMedianData(n int) ([]float64, []float64) {
 		ws[i] = rng.Float64()
 	}
 	return xs, ws
+}
+
+// TestWeightedMedianBufBitIdentity: the scratch-buffer variant must
+// return exactly the bits WeightedMedianFast (and hence WeightedMedian)
+// returns — including on the coarse duplicate-heavy inputs that trigger
+// the numerical-tie fallback — and must not modify its inputs.
+func TestWeightedMedianBufBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(16)
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range xs {
+			xs[i] = math.Round(rng.NormFloat64() * 3)
+			ws[i] = math.Round(rng.Float64()*8) / 4
+			if rng.Intn(9) == 0 {
+				ws[i] = -ws[i] // negative weights are clamped to zero
+			}
+		}
+		if trial%11 == 0 {
+			for i := range ws {
+				ws[i] = 0
+			}
+		}
+		origX := append([]float64(nil), xs...)
+		origW := append([]float64(nil), ws...)
+		want := WeightedMedianFast(xs, ws)
+		vbuf := make([]float64, n)
+		wbuf := make([]float64, n)
+		for i := range vbuf {
+			vbuf[i], wbuf[i] = math.NaN(), math.NaN() // scratch contents must not matter
+		}
+		got := WeightedMedianBuf(xs, ws, vbuf, wbuf)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("trial %d: Buf %v, Fast %v (xs=%v ws=%v)", trial, got, want, xs, ws)
+		}
+		for i := range xs {
+			if xs[i] != origX[i] || ws[i] != origW[i] {
+				t.Fatalf("trial %d: inputs modified", trial)
+			}
+		}
+	}
+}
+
+// TestWeightedMedianBufAllocFree pins the point of the variant: with
+// caller scratch the median computation performs zero allocations.
+func TestWeightedMedianBufAllocFree(t *testing.T) {
+	xs, ws := benchMedianData(64)
+	vbuf := make([]float64, len(xs))
+	wbuf := make([]float64, len(xs))
+	allocs := testing.AllocsPerRun(100, func() {
+		WeightedMedianBuf(xs, ws, vbuf, wbuf)
+	})
+	if allocs != 0 {
+		t.Fatalf("WeightedMedianBuf allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkWeightedMedianBuf(b *testing.B) {
+	xs, ws := benchMedianData(64)
+	vbuf := make([]float64, len(xs))
+	wbuf := make([]float64, len(xs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WeightedMedianBuf(xs, ws, vbuf, wbuf)
+	}
 }

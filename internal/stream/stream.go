@@ -171,8 +171,12 @@ func (p *Processor) grow(numSources int) {
 // initialized on first appearance.
 func (p *Processor) Process(chunk *data.Dataset) *data.Table {
 	p.grow(chunk.NumSources())
-	truths := core.AggregateTruths(chunk, p.weights, p.cfg.Core)
-	losses := core.SourceLosses(chunk, truths, p.weights, p.cfg.Core)
+	// Freeze the chunk's columnar view once and share it between the
+	// truth pass and the loss pass — the package-level helpers would
+	// re-freeze for each.
+	prep := core.Prepare(chunk)
+	truths := prep.AggregateTruths(p.weights, p.cfg.Core)
+	losses := prep.SourceLosses(truths, p.weights, p.cfg.Core)
 	for k := range p.accum {
 		p.accum[k] *= p.cfg.Decay
 		if k < len(losses) {

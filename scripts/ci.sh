@@ -20,16 +20,22 @@
 #   7. make loadcheck  boot a real crhd and drive a seeded crhload smoke
 #                      against it: zero request errors and populated
 #                      per-stage latency histograms (docs/LOAD.md)
-#   8. encode allocs   the AllocsPerRun pins on the resolve encode and
-#                      cached-bytes serve paths, on their own so an
-#                      allocation regression in the hot path is named in
-#                      the logs (the golden byte-equality suite already
-#                      ran inside make check)
-#   9. lint self-check every analyzer crhlint -list reports must have a
+#   8. allocation pins the AllocsPerRun pins on the resolve encode /
+#                      cached-bytes serve paths and the solver's
+#                      zero-allocation-per-iteration contract, on their
+#                      own so an allocation regression in either hot
+#                      path is named in the logs (the golden
+#                      byte-equality suite already ran inside make check)
+#   9. coverage floor  go test -coverprofile over the solver and data
+#                      layers; fails if combined statement coverage of
+#                      internal/core + internal/data + internal/col
+#                      falls below the floor, and archives the profile
+#                      under results/coverage.out
+#  10. lint self-check every analyzer crhlint -list reports must have a
 #                      golden testdata package, and the full -json report
 #                      (suppressed findings included) is archived under
 #                      results/lint-report.json as the audit record
-#  10. gofmt -l        fails if any tracked Go file is unformatted
+#  11. gofmt -l        fails if any tracked Go file is unformatted
 #
 # Exits non-zero on the first failure.
 
@@ -58,8 +64,22 @@ make fuzz FUZZTIME=5s
 echo "==> loadcheck (serve-path smoke)"
 make loadcheck
 
-echo "==> encode allocation pins"
+echo "==> allocation pins (encode + solver iterations)"
 go test -run 'TestEncodeAllocs' -count=1 ./internal/server/
+go test -run 'TestSolverIterationAllocFree|TestSolverRunReusesPrepared' -count=1 ./internal/core/
+
+echo "==> coverage floor (solver + data layers)"
+mkdir -p results
+go test -count=1 -coverprofile=results/coverage.out \
+	-coverpkg=./internal/core/...,./internal/data/...,./internal/col/... \
+	./internal/core/... ./internal/data/... ./internal/col/... > /dev/null
+total=$(go tool cover -func=results/coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+floor=85.0
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+	echo "coverage floor: ${total}% < ${floor}% over internal/{core,data,col}" >&2
+	exit 1
+fi
+echo "coverage floor: ${total}% >= ${floor}% (profile archived at results/coverage.out)"
 
 echo "==> lint self-check (golden coverage + json report)"
 missing=""
